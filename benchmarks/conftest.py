@@ -1,0 +1,51 @@
+"""Benchmark-harness fixtures.
+
+Each benchmark module regenerates one of the paper's tables or figures.
+The rendered tables are written both to the real stdout (bypassing pytest
+capture, so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+records them) and to ``benchmarks/results/<name>.txt``.
+
+Experiment runs are memoised in a session-scoped cache so that artifacts
+sharing the same underlying simulations (e.g. Figure 6 and Table 8) pay
+for them once.
+
+Budgets: set ``REPRO_BENCH_INSTRUCTIONS`` / ``REPRO_BENCH_WARMUP`` to
+shrink or grow every run (defaults 40k/30k instructions).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Session-wide memo of experiment results, keyed by arbitrary tuples.
+_CACHE = {}
+
+
+def cached(key, factory):
+    """Memoise ``factory()`` under ``key`` for the whole session."""
+    if key not in _CACHE:
+        _CACHE[key] = factory()
+    return _CACHE[key]
+
+
+@pytest.fixture
+def emit(request):
+    """Return a writer that prints a rendered artifact and archives it."""
+
+    capture = request.config.pluginmanager.getplugin("capturemanager")
+
+    def _emit(text: str) -> None:
+        name = request.node.name
+        banner = f"\n===== {name} =====\n"
+        with capture.global_and_fixture_disabled():
+            sys.stdout.write(banner + text + "\n")
+            sys.stdout.flush()
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

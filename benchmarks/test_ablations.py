@@ -1,0 +1,87 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper artifacts, but checks of the claims the paper makes in prose:
+
+* Section 5.3: biasing Friendly's default placements toward the middle
+  clusters lifts its improvement (paper: 3.1% -> 4.7%).
+* Section 5.3: the intra-trace half of FDRT alone already beats
+  Friendly's scheme (paper: 5.7% vs 3.1%).
+* Table 5 discussion: whether the chain cluster or the intra-trace
+  producer takes precedence in Option C "does not matter".
+* Option D's middle-cluster funneling is one of the reasons FDRT's
+  forwarding distances beat Friendly's.
+"""
+
+from conftest import cached
+
+from repro.assign.base import StrategySpec
+from repro.experiments import harmonic_mean, run_matrix
+from repro.workloads.suites import SPECINT2000_SELECTED
+
+_BENCHMARKS = SPECINT2000_SELECTED[:3]  # bzip2, eon, gzip
+
+_SPECS = [
+    StrategySpec(kind="base"),
+    StrategySpec(kind="friendly"),
+    StrategySpec(kind="friendly", middle_bias=True),
+    StrategySpec(kind="fdrt"),
+    StrategySpec(kind="fdrt", intra_only=True),
+    StrategySpec(kind="fdrt", chain_precedence=False),
+    StrategySpec(kind="fdrt", middle_funnel=False),
+]
+
+
+def _run():
+    return run_matrix(_BENCHMARKS, _SPECS)
+
+
+def _mean_speedup(results, label):
+    return harmonic_mean([
+        results[(b, label)].speedup_over(results[(b, "Base")])
+        for b in _BENCHMARKS
+    ])
+
+
+def test_ablations(benchmark, emit):
+    results = benchmark.pedantic(lambda: cached("ablations", _run),
+                                 rounds=1, iterations=1)
+    labels = [s.label for s in _SPECS if s.kind != "base"]
+    lines = ["Ablation study (harmonic-mean speedup over base, 3 benchmarks)"]
+    speedups = {}
+    for label in labels:
+        speedups[label] = _mean_speedup(results, label)
+        lines.append(f"  {label:<24} {speedups[label]:.3f}")
+    emit("\n".join(lines))
+
+    # Friendly with middle bias should not fall behind plain Friendly
+    # (paper: it helps, 3.1% -> 4.7%).
+    assert speedups["Friendly+middle"] > speedups["Friendly"] - 0.02
+    # Intra-only FDRT is positive on its own (paper: 5.7% by itself).
+    assert speedups["FDRT/intra-only"] > 1.0
+    # Full FDRT improves on the base.
+    assert speedups["FDRT"] > 1.0
+    # Option D funneling: in the paper it shortens distances; in this
+    # reproduction chain pinning already targets the middle clusters
+    # (DESIGN.md §5b), so the two variants land close together rather
+    # than funneling winning outright.  Assert the band, not a winner.
+    for b in _BENCHMARKS:
+        with_funnel = results[(b, "FDRT")].avg_forward_distance
+        without = results[(b, "FDRT/no-middle")].avg_forward_distance
+        assert abs(with_funnel - without) < 0.3, b
+    fdrt = speedups["FDRT"]
+    no_middle = speedups["FDRT/no-middle"]
+    assert abs(fdrt - no_middle) < 0.06
+
+
+def test_option_c_precedence_does_not_matter(benchmark, emit):
+    """Paper: 'our simulations show that it does not matter which gets
+    precedence' in Option C."""
+    results = benchmark.pedantic(lambda: cached("ablations", _run),
+                                 rounds=1, iterations=1)
+    chain_first = _mean_speedup(results, "FDRT")
+    producer_first = _mean_speedup(results, "FDRT/producer-first")
+    emit(
+        "Option C precedence: chain-first %.3f vs producer-first %.3f"
+        % (chain_first, producer_first)
+    )
+    assert abs(chain_first - producer_first) < 0.03

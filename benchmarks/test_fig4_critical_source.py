@@ -1,0 +1,20 @@
+"""Figure 4: source of each instruction's most critical input."""
+
+from conftest import cached
+
+from repro.experiments import render_figure4, run_characterization
+
+
+def test_fig4_critical_source(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: cached("characterization", run_characterization),
+        rounds=1, iterations=1,
+    )
+    emit(render_figure4(result))
+    # Paper shape: RF ~44%, RS1 ~31%, RS2 ~25% — forwarding supplies the
+    # critical input for the majority, and RS1 outweighs RS2.
+    for r in result.results.values():
+        src = r.critical_source
+        assert 0.2 < src["RF"] < 0.65
+        assert src["RS1"] > src["RS2"]
+        assert src["RS1"] + src["RS2"] > 0.35

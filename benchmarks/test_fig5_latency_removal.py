@@ -1,0 +1,31 @@
+"""Figure 5: expected speedup from removing dependency latencies."""
+
+from conftest import cached
+
+from repro.experiments import render_figure5, run_latency_study
+
+
+def test_fig5_latency_removal(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: cached("latency_study", run_latency_study),
+        rounds=1, iterations=1,
+    )
+    emit(render_figure5(result))
+    all_fwd = result.mean_speedup("No Fwd Lat")
+    crit = result.mean_speedup("No Crit Fwd Lat")
+    intra = result.mean_speedup("No Intra-Trace Lat")
+    inter = result.mean_speedup("No Inter-Trace Lat")
+    rf = result.mean_speedup("No RF Lat")
+    # Paper shape (Section 3.2):
+    # 1. removing all forwarding latency helps the most;
+    assert all_fwd >= max(crit, intra, inter, rf) - 0.01
+    assert all_fwd > 1.05
+    # 2. removing only the critical (last-arriving) forwarding latency
+    #    captures most of that benefit;
+    assert (crit - 1.0) > 0.6 * (all_fwd - 1.0)
+    # 3. register-file latency is essentially irrelevant;
+    assert abs(rf - 1.0) < 0.02
+    # 4. intra- and inter-trace removals land in the same ballpark, both
+    #    clearly positive and clearly below removing everything.
+    assert intra > 1.01 and inter > 1.01
+    assert intra < all_fwd and inter < all_fwd

@@ -1,0 +1,29 @@
+"""Figure 6: the headline strategy comparison over six SPECint programs."""
+
+from conftest import cached
+
+from repro.experiments import render_figure6, run_strategy_comparison
+
+
+def test_fig6_strategy_speedup(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: cached("strategy_comparison", run_strategy_comparison),
+        rounds=1, iterations=1,
+    )
+    emit(render_figure6(result))
+    no_lat = result.mean_speedup("No-lat Issue-time")
+    issue4 = result.mean_speedup("Issue-time(4)")
+    fdrt = result.mean_speedup("FDRT")
+    friendly = result.mean_speedup("Friendly")
+    # Paper shape (Section 5.2):
+    # 1. latency-free issue-time steering is the best option overall;
+    assert no_lat >= max(fdrt, friendly, issue4) - 0.005
+    # 2. FDRT clearly improves on the base machine and on Friendly's
+    #    prior retire-time scheme (paper: 11.5% vs 3.1%);
+    assert fdrt > 1.02
+    assert fdrt > friendly
+    # 3. with realistic steering latency, issue-time's advantage shrinks
+    #    to be comparable with FDRT;
+    assert abs(issue4 - fdrt) < 0.05
+    # 4. Friendly still beats the base machine.
+    assert friendly > 1.0

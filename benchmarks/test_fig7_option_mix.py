@@ -1,0 +1,25 @@
+"""Figure 7: distribution of FDRT assignment options (Table 5)."""
+
+from conftest import cached
+
+from repro.experiments import render_figure7, run_fdrt_analysis
+
+
+def test_fig7_option_mix(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: cached("fdrt_analysis", run_fdrt_analysis),
+        rounds=1, iterations=1,
+    )
+    emit(render_figure7(result))
+    for r in result.pinned.values():
+        counts = r.option_counts
+        total = sum(counts.values())
+        assert total > 0
+        # Paper shape: dependency-guided options (A+B+C) cover the
+        # majority (~64%), a moderate fraction has no identified
+        # dependencies (E, ~24%), middle-funneled producers (D) are a
+        # ~10% class and very few instructions fail placement outright.
+        guided = (counts["A"] + counts["B"] + counts["C"]) / total
+        assert guided > 0.4
+        assert counts["E"] / total < 0.5
+        assert counts["skipped"] / total < 0.15

@@ -1,0 +1,38 @@
+"""Extension benches: trace cache capacity and hop latency sweeps."""
+
+from conftest import cached
+
+from repro.experiments import (
+    render_sweep,
+    run_hop_latency_sweep,
+    run_tc_capacity_sweep,
+)
+
+
+def test_tc_capacity_sweep(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: cached("tc_sweep",
+                       lambda: run_tc_capacity_sweep(sizes=(128, 1024, 4096))),
+        rounds=1, iterations=1,
+    )
+    emit(render_sweep(result))
+    # FDRT's feedback lives in trace cache storage: with a healthy trace
+    # cache it must clearly improve on the base machine.
+    assert result.mean_speedup(1024, "FDRT") > 1.0
+    assert result.mean_speedup(4096, "FDRT") > 1.0
+
+
+def test_hop_latency_sweep(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: cached("hop_sweep",
+                       lambda: run_hop_latency_sweep(latencies=(1, 2, 4))),
+        rounds=1, iterations=1,
+    )
+    emit(render_sweep(result))
+    # Dearer communication raises the value of good placement: FDRT's
+    # speedup at 4-cycle hops must exceed its speedup at 1-cycle hops.
+    assert (result.mean_speedup(4, "FDRT")
+            > result.mean_speedup(1, "FDRT") - 0.01)
+    # And FDRT stays ahead of Friendly at the paper's 2-cycle point.
+    assert (result.mean_speedup(2, "FDRT")
+            >= result.mean_speedup(2, "Friendly") - 0.01)

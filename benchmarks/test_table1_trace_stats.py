@@ -1,0 +1,19 @@
+"""Table 1: trace cache residency and trace size per benchmark."""
+
+from conftest import cached
+
+from repro.experiments import render_table1, run_characterization
+
+
+def test_table1_trace_stats(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: cached("characterization", run_characterization),
+        rounds=1, iterations=1,
+    )
+    table = render_table1(result)
+    emit(table)
+    # Sanity of the reproduced shape: most instructions come from the
+    # trace cache and traces average 10+ instructions (paper: ~13).
+    for r in result.results.values():
+        assert r.pct_tc_instructions > 0.5
+        assert r.avg_trace_size > 8.0

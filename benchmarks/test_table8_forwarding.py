@@ -1,0 +1,39 @@
+"""Table 8: intra-cluster forwarding share and forwarding distances."""
+
+from conftest import cached
+
+from repro.experiments import render_table8, run_strategy_comparison
+
+
+def test_table8_forwarding(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: cached("strategy_comparison", run_strategy_comparison),
+        rounds=1, iterations=1,
+    )
+    emit(render_table8(result))
+
+    def averages(metric):
+        values = {}
+        for label in ("Base", "Friendly", "FDRT"):
+            per = [getattr(result.results[(b, label)], metric)
+                   for b in result.benchmarks]
+            values[label] = sum(per) / len(per)
+        return values
+
+    intra = averages("pct_intra_cluster_forwarding")
+    dist = averages("avg_forward_distance")
+    # Paper shape (Table 8): both retire-time schemes lift same-cluster
+    # forwarding well above the base (paper: 40% -> 57% -> 62%), with
+    # FDRT best; and FDRT always shortens distances the most
+    # (paper notes FDRT < Friendly < Base on every benchmark).
+    assert intra["Base"] < intra["Friendly"]
+    assert intra["Base"] < intra["FDRT"]
+    # FDRT leads Friendly at production budgets; allow small-window noise
+    # (FDRT's chain feedback needs warm trace cache state).
+    assert intra["FDRT"] > intra["Friendly"] - 0.03
+    assert intra["FDRT"] > 0.44
+    assert dist["FDRT"] < dist["Friendly"] < dist["Base"]
+    for b in result.benchmarks:
+        fdrt = result.results[(b, "FDRT")].avg_forward_distance
+        base = result.results[(b, "Base")].avg_forward_distance
+        assert fdrt < base

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Compare every cluster assignment strategy on one benchmark.
+
+Reproduces a single row of the paper's Figure 6 plus the Table 8 metrics,
+for any benchmark in the catalog:
+
+    python examples/compare_strategies.py twolf
+    python examples/compare_strategies.py mpeg2_dec
+"""
+
+import sys
+
+from repro import Simulator, StrategySpec
+from repro.workloads.generator import generate_program
+from repro.workloads.profiles import profile_for
+
+STRATEGIES = (
+    StrategySpec(kind="base"),
+    StrategySpec(kind="issue", steer_latency=0),
+    StrategySpec(kind="issue", steer_latency=4),
+    StrategySpec(kind="friendly"),
+    StrategySpec(kind="friendly", middle_bias=True),
+    StrategySpec(kind="fdrt"),
+    StrategySpec(kind="fdrt", pinning=False),
+)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gzip"
+    program = generate_program(profile_for(benchmark))
+    print(f"benchmark: {benchmark}  "
+          f"(static program: {len(program.blocks)} blocks, "
+          f"{program.static_size} instructions)\n")
+    header = (f"{'strategy':<22} {'IPC':>6} {'speedup':>8} "
+              f"{'intra-cl fwd':>13} {'fwd dist':>9}")
+    print(header)
+    print("-" * len(header))
+    base = None
+    for spec in STRATEGIES:
+        simulator = Simulator(program, spec)
+        simulator.warmup(30_000)
+        result = simulator.run(40_000)
+        if base is None:
+            base = result
+        print(f"{spec.label:<22} {result.ipc:>6.3f} "
+              f"{result.speedup_over(base):>8.3f} "
+              f"{result.pct_intra_cluster_forwarding:>12.1%} "
+              f"{result.avg_forward_distance:>9.2f}")
+
+
+if __name__ == "__main__":
+    main()

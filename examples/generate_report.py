@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Generate a full reproduction report as a markdown file.
+
+Runs every experiment (all tables and figures of the paper) and writes
+REPORT.md.  At default budgets this takes tens of minutes; pass
+``--quick`` for a fast draft on reduced budgets.
+
+    python examples/generate_report.py [--quick] [output.md]
+"""
+
+import sys
+import time
+
+from repro.experiments.report import generate_report
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:]]
+    quick = "--quick" in args
+    if quick:
+        args.remove("--quick")
+    output = args[0] if args else "REPORT.md"
+
+    budgets = dict(instructions=4_000, warmup=8_000) if quick else {}
+    start = time.time()
+    text = generate_report(**budgets)
+    with open(output, "w") as handle:
+        handle.write(text)
+    print(f"wrote {output} in {time.time() - start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""MediaBench mini-study: where retire-time assignment shines.
+
+The paper's most interesting Figure 9 result is that on MediaBench, FDRT
+(8.2%) outperforms even latency-free issue-time steering (4.2%), because
+media kernels are loop-dominated and extremely trace-cache friendly —
+exactly the regime where fill-unit reordering sees the whole picture.
+
+This example runs a handful of media codecs under base, no-lat
+issue-time, and FDRT, and reports per-program results.
+
+    python examples/media_study.py
+"""
+
+from repro import StrategySpec, simulate
+from repro.experiments import harmonic_mean
+
+PROGRAMS = ("adpcm_enc", "gsm_dec", "jpeg_enc", "mpeg2_dec", "pegwit_enc")
+
+
+def main() -> None:
+    budgets = dict(instructions=30_000, warmup=25_000)
+    specs = {
+        "base": StrategySpec(kind="base"),
+        "no-lat issue": StrategySpec(kind="issue", steer_latency=0),
+        "FDRT": StrategySpec(kind="fdrt"),
+    }
+    header = f"{'program':<12} {'TC%':>6} " + "".join(
+        f"{name:>14}" for name in specs if name != "base"
+    )
+    print(header)
+    print("-" * len(header))
+    speedups = {name: [] for name in specs if name != "base"}
+    for program in PROGRAMS:
+        results = {
+            name: simulate(program, spec, **budgets)
+            for name, spec in specs.items()
+        }
+        row = f"{program:<12} {results['base'].pct_tc_instructions:>6.1%} "
+        for name in speedups:
+            s = results[name].speedup_over(results["base"])
+            speedups[name].append(s)
+            row += f"{s:>14.3f}"
+        print(row)
+    print("-" * len(header))
+    row = f"{'HM':<12} {'':>6} "
+    for name in speedups:
+        row += f"{harmonic_mean(speedups[name]):>14.3f}"
+    print(row)
+
+
+if __name__ == "__main__":
+    main()

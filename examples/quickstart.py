@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a benchmark under two cluster assignment schemes.
+
+Runs the synthetic ``gzip`` workload on the paper's baseline machine
+(16-wide, four clusters, 2-cycle hops) with slot-based baseline assignment
+and with FDRT retire-time assignment, then reports the speedup and the
+forwarding behaviour behind it.
+
+    python examples/quickstart.py [benchmark]
+"""
+
+import sys
+
+from repro import StrategySpec, simulate
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gzip"
+    budgets = dict(instructions=30_000, warmup=25_000)
+
+    print(f"Simulating {benchmark!r} on the baseline CTCP ...")
+    base = simulate(benchmark, StrategySpec(kind="base"), **budgets)
+    print(f"  base IPC           : {base.ipc:.3f}")
+    print(f"  from trace cache   : {base.pct_tc_instructions:.1%}")
+    print(f"  mean trace size    : {base.avg_trace_size:.1f} instructions")
+    print(f"  intra-cluster fwd  : {base.pct_intra_cluster_forwarding:.1%}")
+    print(f"  mean fwd distance  : {base.avg_forward_distance:.2f} clusters")
+
+    print("\nSimulating with FDRT retire-time cluster assignment ...")
+    fdrt = simulate(benchmark, StrategySpec(kind="fdrt"), **budgets)
+    print(f"  FDRT IPC           : {fdrt.ipc:.3f}")
+    print(f"  intra-cluster fwd  : {fdrt.pct_intra_cluster_forwarding:.1%}")
+    print(f"  mean fwd distance  : {fdrt.avg_forward_distance:.2f} clusters")
+
+    print(f"\nFDRT speedup over base: {fdrt.speedup_over(base):.3f}x")
+    total = sum(fdrt.option_counts.values())
+    if total:
+        mix = ", ".join(
+            f"{k}={v / total:.0%}" for k, v in fdrt.option_counts.items()
+        )
+        print(f"FDRT option mix (Table 5): {mix}")
+
+
+if __name__ == "__main__":
+    main()

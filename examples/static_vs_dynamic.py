@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Static vs. dynamic cluster assignment.
+
+The paper's introduction cites studies concluding that dynamic
+assignment beats static (compiler) assignment.  This example reproduces
+that contrast: a profile-guided *static* per-pc assignment is trained on
+one run, then compared against the dynamic strategies on the same
+program.
+
+    python examples/static_vs_dynamic.py [benchmark]
+"""
+
+import sys
+
+from repro import Simulator, StrategySpec
+from repro.assign import train_static_assignment
+from repro.workloads.generator import generate_program
+from repro.workloads.profiles import profile_for
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gzip"
+    program = generate_program(profile_for(benchmark))
+
+    print(f"training static assignment for {benchmark!r} ...")
+    mapping = train_static_assignment(program, train_instructions=25_000,
+                                      warmup=10_000)
+    clusters = [0, 0, 0, 0]
+    for cluster in mapping.values():
+        clusters[cluster] += 1
+    print(f"  {len(mapping)} static instructions partitioned {clusters}")
+
+    specs = [
+        ("base (slot)", StrategySpec(kind="base")),
+        ("static (profile-guided)",
+         StrategySpec(kind="static", static_mapping=mapping)),
+        ("dynamic issue-time", StrategySpec(kind="issue", steer_latency=0)),
+        ("dynamic FDRT", StrategySpec(kind="fdrt")),
+    ]
+    base = None
+    print(f"\n{'strategy':<26} {'IPC':>6} {'speedup':>8} {'fwd dist':>9}")
+    for name, spec in specs:
+        simulator = Simulator(program, spec)
+        simulator.warmup(30_000)
+        result = simulator.run(40_000)
+        if base is None:
+            base = result
+        print(f"{name:<26} {result.ipc:>6.3f} "
+              f"{result.speedup_over(base):>8.3f} "
+              f"{result.avg_forward_distance:>9.2f}")
+    print("\nExpected shape: static beats the slot baseline (it at least")
+    print("respects the profile's dependency structure) but loses to the")
+    print("dynamic schemes, which adapt to per-instance critical inputs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro — a clustered trace cache processor (CTCP) simulator.
+
+Reproduction of *"Improving Dynamic Cluster Assignment for Clustered Trace
+Cache Processors"* (Bhargava & John, ISCA 2003): a cycle-level simulator
+of a 16-wide, four-cluster trace cache processor with retire-time
+(fill-unit) cluster assignment, including the paper's feedback-directed
+FDRT strategy, Friendly et al.'s prior retire-time scheme, issue-time
+steering, and the slot-based baseline.
+
+Quickstart::
+
+    from repro import StrategySpec, simulate
+
+    base = simulate("gzip", StrategySpec(kind="base"))
+    fdrt = simulate("gzip", StrategySpec(kind="fdrt"))
+    print(f"FDRT speedup: {fdrt.speedup_over(base):.3f}x")
+
+Package map:
+
+* :mod:`repro.isa` — the synthetic RISC ISA.
+* :mod:`repro.workloads` — per-benchmark synthetic program generation and
+  functional execution.
+* :mod:`repro.frontend` — branch predictors, BTB, RAS.
+* :mod:`repro.memory` — caches, TLB, load/store queues.
+* :mod:`repro.tracecache` — trace cache and fill unit.
+* :mod:`repro.cluster` — clusters, reservation stations, functional
+  units, interconnect, machine configuration.
+* :mod:`repro.assign` — the cluster assignment strategies.
+* :mod:`repro.core` — the cycle-level pipeline and the simulation API.
+* :mod:`repro.experiments` — reproductions of every table and figure in
+  the paper's evaluation.
+"""
+
+from repro.assign.base import StrategySpec
+from repro.cluster.config import (
+    MachineConfig,
+    baseline_config,
+    fast_forward_config,
+    mesh_config,
+    two_cluster_config,
+)
+from repro.core.simulator import SimResult, Simulator, simulate
+from repro.workloads.suites import MEDIABENCH, SPECINT2000, SPECINT2000_SELECTED
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MEDIABENCH",
+    "MachineConfig",
+    "SPECINT2000",
+    "SPECINT2000_SELECTED",
+    "SimResult",
+    "Simulator",
+    "StrategySpec",
+    "baseline_config",
+    "fast_forward_config",
+    "mesh_config",
+    "simulate",
+    "two_cluster_config",
+]

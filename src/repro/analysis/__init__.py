@@ -1,0 +1,23 @@
+"""Post-simulation analysis tooling.
+
+Utilities that sit on top of :class:`~repro.core.simulator.SimResult` and
+live :class:`~repro.core.pipeline.Pipeline` objects: hardware utilization
+reports, CSV export of result matrices, and the text bar charts used to
+render the paper's figures in a terminal.
+"""
+
+from repro.analysis.utilization import UtilizationReport, collect_utilization
+from repro.analysis.export import results_to_csv, results_to_rows
+from repro.analysis.charts import bar_chart
+from repro.analysis.energy import EnergyModel, EnergyReport, estimate_energy
+
+__all__ = [
+    "EnergyModel",
+    "EnergyReport",
+    "UtilizationReport",
+    "bar_chart",
+    "collect_utilization",
+    "estimate_energy",
+    "results_to_csv",
+    "results_to_rows",
+]

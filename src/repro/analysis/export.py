@@ -1,0 +1,71 @@
+"""CSV export of simulation results.
+
+Flattens :class:`~repro.core.simulator.SimResult` objects into rows for
+spreadsheet/pandas consumption.  Nested dictionaries (critical-source
+breakdown, producer repetition, option counts) become dotted columns.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List
+
+from repro.core.simulator import SimResult
+
+#: Scalar SimResult fields exported directly, in column order.
+_SCALAR_FIELDS = (
+    "benchmark",
+    "strategy",
+    "cycles",
+    "retired",
+    "ipc",
+    "pct_tc_instructions",
+    "avg_trace_size",
+    "pct_deps_critical",
+    "pct_critical_inter_trace",
+    "pct_intra_cluster_forwarding",
+    "avg_forward_distance",
+    "fill_migration_rate",
+    "chain_migration_rate",
+    "pct_migrating_intra_cluster",
+    "mispredict_rate",
+    "tc_hit_rate",
+    "l1d_hit_rate",
+)
+
+
+def results_to_rows(results: Iterable[SimResult]) -> List[Dict[str, object]]:
+    """Flatten results into dictionaries with stable keys."""
+    rows = []
+    for result in results:
+        row: Dict[str, object] = {
+            field: getattr(result, field) for field in _SCALAR_FIELDS
+        }
+        for key, value in result.critical_source.items():
+            row[f"critical_source.{key}"] = value
+        for key, value in result.producer_repetition.items():
+            row[f"producer_repetition.{key}"] = value
+        for key, value in result.option_counts.items():
+            row[f"option_counts.{key}"] = value
+        rows.append(row)
+    return rows
+
+
+def results_to_csv(results: Iterable[SimResult]) -> str:
+    """Render results as a CSV string (header + one row per result)."""
+    rows = results_to_rows(results)
+    if not rows:
+        return ""
+    # Union of keys across rows, scalar fields first for readability.
+    keys: List[str] = list(_SCALAR_FIELDS)
+    for row in rows:
+        for key in row:
+            if key not in keys:
+                keys.append(key)
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=keys, restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return out.getvalue()

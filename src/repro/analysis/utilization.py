@@ -1,0 +1,83 @@
+"""Cluster and functional-unit utilization reporting.
+
+The paper argues about *where* instructions execute; this module reports
+how hard each cluster and unit actually worked — useful when diagnosing
+why a placement strategy that improves forwarding distance fails to
+improve IPC (load imbalance, port pressure, FU class contention).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.core.pipeline import Pipeline
+
+
+@dataclasses.dataclass(frozen=True)
+class UtilizationReport:
+    """Utilization snapshot of a pipeline after a run."""
+
+    cycles: int
+    #: Dispatches per cluster.
+    cluster_dispatches: List[int]
+    #: Dispatches per (cluster, unit-name).
+    unit_dispatches: Dict[str, int]
+    #: Trace cache hit rate and L1D hit rate for context.
+    tc_hit_rate: float
+    l1d_hit_rate: float
+
+    @property
+    def cluster_shares(self) -> List[float]:
+        """Fraction of all dispatches handled by each cluster."""
+        total = sum(self.cluster_dispatches)
+        if not total:
+            return [0.0] * len(self.cluster_dispatches)
+        return [d / total for d in self.cluster_dispatches]
+
+    @property
+    def imbalance(self) -> float:
+        """Max/mean ratio of cluster dispatch counts (1.0 = perfectly flat)."""
+        dispatches = self.cluster_dispatches
+        if not dispatches or not sum(dispatches):
+            return 1.0
+        mean = sum(dispatches) / len(dispatches)
+        return max(dispatches) / mean
+
+    def busiest_units(self, top: int = 5) -> List[tuple]:
+        """(unit, dispatches) pairs sorted by load, busiest first."""
+        ranked = sorted(self.unit_dispatches.items(), key=lambda kv: -kv[1])
+        return ranked[:top]
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = [f"Utilization over {self.cycles} cycles"]
+        for i, (count, share) in enumerate(
+                zip(self.cluster_dispatches, self.cluster_shares)):
+            lines.append(f"  cluster {i}: {count} dispatches ({share:.1%})")
+        lines.append(f"  imbalance (max/mean): {self.imbalance:.2f}")
+        lines.append(f"  trace cache hit rate: {self.tc_hit_rate:.1%}")
+        lines.append(f"  L1D hit rate: {self.l1d_hit_rate:.1%}")
+        lines.append("  busiest units: " + ", ".join(
+            f"{name}={count}" for name, count in self.busiest_units()))
+        return "\n".join(lines)
+
+
+def collect_utilization(pipeline: Pipeline) -> UtilizationReport:
+    """Snapshot utilization counters from a (run) pipeline."""
+    cluster_dispatches = []
+    unit_dispatches: Dict[str, int] = {}
+    for cluster in pipeline.clusters:
+        total = 0
+        for unit in cluster.units:
+            key = f"c{cluster.cluster_id}.{unit.name}"
+            unit_dispatches[key] = unit.dispatched
+            total += unit.dispatched
+        cluster_dispatches.append(total)
+    return UtilizationReport(
+        cycles=pipeline.stats.cycles,
+        cluster_dispatches=cluster_dispatches,
+        unit_dispatches=unit_dispatches,
+        tc_hit_rate=pipeline.trace_cache.hit_rate,
+        l1d_hit_rate=pipeline.memory.l1d.hit_rate,
+    )

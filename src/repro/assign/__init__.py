@@ -1,0 +1,41 @@
+"""Dynamic cluster assignment strategies (paper Section 2.3).
+
+Four families are implemented:
+
+* **base** — slot-based issue: an instruction's position in the fetched
+  line determines its cluster; no reordering anywhere (the baseline).
+* **issue-time** — dependency/balance steering performed in the issue
+  stage, with configurable steering latency (0 = ideal, 4 = realistic).
+* **friendly** — Friendly et al.'s retire-time fill-unit reordering based
+  on intra-trace dependencies (slot-centric), with an optional
+  middle-cluster-biased variant.
+* **fdrt** — the paper's feedback-directed retire-time strategy: chain
+  clusters from trace cache profile feedback combined with intra-trace
+  analysis (Table 5), with leader pinning (Table 4) on or off, and an
+  intra-trace-only ablation.
+"""
+
+from repro.assign.base import (
+    AssignmentContext,
+    RetireTimeStrategy,
+    StrategySpec,
+    make_strategy,
+)
+from repro.assign.slot import SlotBaseline
+from repro.assign.friendly import FriendlyRetireTime
+from repro.assign.fdrt import FDRTStrategy
+from repro.assign.issue_time import IssueTimeSteering
+from repro.assign.static_pc import StaticAssignment, train_static_assignment
+
+__all__ = [
+    "AssignmentContext",
+    "FDRTStrategy",
+    "FriendlyRetireTime",
+    "IssueTimeSteering",
+    "RetireTimeStrategy",
+    "SlotBaseline",
+    "StaticAssignment",
+    "StrategySpec",
+    "make_strategy",
+    "train_static_assignment",
+]

@@ -1,0 +1,119 @@
+"""Issue-time dependency/balance steering (paper Section 2.3).
+
+Instructions are steered "to the cluster where one or more of their data
+inputs are known to be generated": at issue, in program order, each
+instruction prefers the cluster of the in-flight producer of its
+(expected) last input, falling back to the least-loaded cluster.  At most
+``slots_per_cluster`` instructions enter each cluster per cycle, which
+both simplifies the hardware and balances workloads.
+
+The steering/routing *latency* (0 for the ideal study, 4 cycles for the
+realistic one, 2 for the eight-wide machine) is applied by the pipeline as
+extra front-end stages via ``StrategySpec.steer_latency``; this class only
+chooses clusters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.assign.base import AssignmentContext
+
+
+class IssueTimeSteering:
+    """Per-cycle cluster chooser for issue-time assignment."""
+
+    name = "issue"
+
+    def __init__(self, context: AssignmentContext) -> None:
+        self.context = context
+
+    def steer(self, insts: Sequence, cluster_load: List[int]) -> List[Optional[int]]:
+        """Choose a cluster per instruction for one issue cycle.
+
+        ``insts`` is the window considered this cycle in program order;
+        ``cluster_load`` is the current occupancy of each cluster (used
+        for balance) and is *not* mutated.  Returns one cluster id (or
+        ``None`` = cannot issue this cycle) per instruction, respecting
+        the per-cluster per-cycle cap.
+        """
+        context = self.context
+        cap = context.slots_per_cluster
+        issued = [0] * context.num_clusters
+        load = list(cluster_load)
+        result: List[Optional[int]] = []
+        tentative: dict = {}
+        for inst in insts:
+            preferred = self._preferred_cluster(inst, tentative)
+            cluster = self._pick(preferred, issued, load, cap)
+            result.append(cluster)
+            if cluster is not None:
+                tentative[id(inst)] = cluster
+                issued[cluster] += 1
+                load[cluster] += 1
+        return result
+
+    def _preferred_cluster(self, inst, tentative: dict) -> Optional[int]:
+        """Cluster of the producer expected to arrive last, if in flight.
+
+        Producers that have already completed long ago supply their value
+        through the register file, so only in-flight producers (not yet
+        completed, or just completed) attract the consumer.  Both
+        intra-trace and inter-trace producers are visible at issue time —
+        this is the information advantage issue-time steering has over
+        retire-time schemes.
+        """
+        def cluster_of(producer) -> int:
+            # A producer steered earlier in this same window has a
+            # tentative cluster before the pipeline commits it.
+            if producer.cluster >= 0:
+                return producer.cluster
+            return tentative.get(id(producer), -1)
+
+        best_cluster = -1
+        best_seq = -1
+        for producer in inst.src_producers:
+            if producer is None:
+                continue
+            cluster = cluster_of(producer)
+            if cluster < 0:
+                continue
+            # The youngest producer is the best guess for the last input.
+            if producer.complete_cycle < 0 and producer.seq > best_seq:
+                best_cluster = cluster
+                best_seq = producer.seq
+        if best_cluster < 0:
+            for producer in inst.src_producers:
+                if producer is None:
+                    continue
+                cluster = cluster_of(producer)
+                if cluster >= 0 and producer.seq > best_seq:
+                    best_cluster = cluster
+                    best_seq = producer.seq
+        return best_cluster if best_cluster >= 0 else None
+
+    def _pick(
+        self,
+        preferred: Optional[int],
+        issued: List[int],
+        load: List[int],
+        cap: int,
+    ) -> Optional[int]:
+        interconnect = self.context.interconnect
+        if preferred is not None:
+            # Preferred cluster, else the nearest cluster with a free slot
+            # (ties broken by load).
+            for cluster in sorted(
+                range(self.context.num_clusters),
+                key=lambda c: (interconnect.distance(preferred, c), load[c], c),
+            ):
+                if issued[cluster] < cap:
+                    return cluster
+            return None
+        # No known producer: balance on load.
+        candidates = [
+            c for c in range(self.context.num_clusters) if issued[c] < cap
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda c: (load[c], c))

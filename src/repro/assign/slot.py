@@ -1,0 +1,19 @@
+"""Baseline slot-based assignment.
+
+The base CTCP steers instructions to clusters purely by their position in
+the instruction buffer: the first ``slots_per_cluster`` instructions of a
+fetched line go to cluster 0, the next group to cluster 1, and so on
+(paper Section 2.3).  The fill unit performs no reordering, so this
+strategy is the identity layout inherited from
+:class:`~repro.assign.base.RetireTimeStrategy`.
+"""
+
+from __future__ import annotations
+
+from repro.assign.base import RetireTimeStrategy
+
+
+class SlotBaseline(RetireTimeStrategy):
+    """Identity physical layout: logical order is physical order."""
+
+    name = "base"

@@ -1,0 +1,262 @@
+"""Command-line interface.
+
+``python -m repro`` exposes the library without writing scripts::
+
+    python -m repro list
+    python -m repro simulate gzip --strategy fdrt
+    python -m repro compare twolf --csv
+    python -m repro experiment table1
+    python -m repro utilization vpr --strategy fdrt
+
+All subcommands accept ``--instructions`` / ``--warmup`` to trade accuracy
+for speed, and ``--machine`` to pick a Figure 8 machine variant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import bar_chart, collect_utilization, results_to_csv
+from repro.assign.base import StrategySpec
+from repro.cluster.config import (
+    MachineConfig,
+    baseline_config,
+    fast_forward_config,
+    mesh_config,
+    two_cluster_config,
+)
+from repro.core.simulator import Simulator
+from repro.workloads.profiles import all_profiles
+
+_MACHINES = {
+    "base": baseline_config,
+    "mesh": mesh_config,
+    "fast": fast_forward_config,
+    "two-cluster": two_cluster_config,
+}
+
+_STRATEGIES = {
+    "base": StrategySpec(kind="base"),
+    "issue": StrategySpec(kind="issue", steer_latency=0),
+    "issue4": StrategySpec(kind="issue", steer_latency=4),
+    "friendly": StrategySpec(kind="friendly"),
+    "friendly-middle": StrategySpec(kind="friendly", middle_bias=True),
+    "fdrt": StrategySpec(kind="fdrt"),
+    "fdrt-nopin": StrategySpec(kind="fdrt", pinning=False),
+    "fdrt-intra": StrategySpec(kind="fdrt", intra_only=True),
+}
+
+_EXPERIMENTS = (
+    "table1", "table2", "table3", "fig4", "fig5", "fig6", "table8",
+    "fig7", "table9", "table10", "fig8", "fig9",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clustered trace cache processor simulator "
+                    "(Bhargava & John, ISCA 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark catalog")
+
+    def add_common(p):
+        p.add_argument("--instructions", type=int, default=30_000,
+                       help="measured instructions per run")
+        p.add_argument("--warmup", type=int, default=25_000,
+                       help="warmup instructions per run")
+        p.add_argument("--machine", choices=sorted(_MACHINES),
+                       default="base", help="machine variant")
+        p.add_argument("--config-file", default=None,
+                       help="JSON MachineConfig (overrides --machine)")
+
+    sim = sub.add_parser("simulate", help="simulate one benchmark")
+    sim.add_argument("benchmark")
+    sim.add_argument("--strategy", choices=sorted(_STRATEGIES),
+                     default="fdrt")
+    sim.add_argument("--csv", action="store_true",
+                     help="emit the result as CSV")
+    add_common(sim)
+
+    cmp_parser = sub.add_parser(
+        "compare", help="compare all strategies on one benchmark")
+    cmp_parser.add_argument("benchmark")
+    cmp_parser.add_argument("--csv", action="store_true")
+    add_common(cmp_parser)
+
+    util = sub.add_parser(
+        "utilization", help="cluster/unit utilization report")
+    util.add_argument("benchmark")
+    util.add_argument("--strategy", choices=sorted(_STRATEGIES),
+                      default="fdrt")
+    add_common(util)
+
+    exp = sub.add_parser(
+        "experiment", help="reproduce one of the paper's tables/figures")
+    exp.add_argument("artifact", choices=_EXPERIMENTS)
+    exp.add_argument("--instructions", type=int, default=None)
+    exp.add_argument("--warmup", type=int, default=None)
+
+    energy = sub.add_parser(
+        "energy", help="activity-based energy estimate for one benchmark")
+    energy.add_argument("benchmark")
+    energy.add_argument("--strategy", choices=sorted(_STRATEGIES),
+                        default="fdrt")
+    add_common(energy)
+
+    sweep = sub.add_parser(
+        "sweep", help="sensitivity sweep (trace cache size or hop latency)")
+    sweep.add_argument("parameter", choices=("tc", "hops"))
+    sweep.add_argument("--instructions", type=int, default=8_000)
+    sweep.add_argument("--warmup", type=int, default=15_000)
+    return parser
+
+
+def _machine(args) -> MachineConfig:
+    if getattr(args, "config_file", None):
+        return MachineConfig.from_json(args.config_file)
+    return _MACHINES[args.machine]()
+
+
+def _run(benchmark: str, spec: StrategySpec, args) -> tuple:
+    simulator = Simulator(benchmark, spec, config=_machine(args))
+    if args.warmup:
+        simulator.warmup(args.warmup)
+    return simulator, simulator.run(args.instructions)
+
+
+def _cmd_list(_args) -> int:
+    profiles = all_profiles()
+    width = max(len(name) for name in profiles)
+    for name in sorted(profiles):
+        print(f"{name.ljust(width)}  {profiles[name].description}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    spec = _STRATEGIES[args.strategy]
+    _, result = _run(args.benchmark, spec, args)
+    if args.csv:
+        print(results_to_csv([result]), end="")
+        return 0
+    print(f"benchmark          : {result.benchmark}")
+    print(f"strategy           : {result.strategy}")
+    print(f"IPC                : {result.ipc:.3f}")
+    print(f"from trace cache   : {result.pct_tc_instructions:.1%}")
+    print(f"mean trace size    : {result.avg_trace_size:.1f}")
+    print(f"mispredict rate    : {result.mispredict_rate:.2%}")
+    print(f"intra-cluster fwd  : {result.pct_intra_cluster_forwarding:.1%}")
+    print(f"mean fwd distance  : {result.avg_forward_distance:.2f} clusters")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    results = []
+    speedups = {}
+    base = None
+    for name in ("base", "issue", "issue4", "friendly", "fdrt"):
+        _, result = _run(args.benchmark, _STRATEGIES[name], args)
+        results.append(result)
+        if base is None:
+            base = result
+        speedups[result.strategy] = result.speedup_over(base)
+    if args.csv:
+        print(results_to_csv(results), end="")
+        return 0
+    print(bar_chart(speedups, title=f"speedup over base — {args.benchmark}",
+                    baseline=1.0))
+    return 0
+
+
+def _cmd_utilization(args) -> int:
+    spec = _STRATEGIES[args.strategy]
+    simulator, _ = _run(args.benchmark, spec, args)
+    print(collect_utilization(simulator.pipeline).render())
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import repro.experiments as ex
+
+    budgets = {}
+    if args.instructions:
+        budgets["instructions"] = args.instructions
+    if args.warmup is not None:
+        budgets["warmup"] = args.warmup
+
+    def char():
+        return ex.run_characterization(**budgets)
+
+    runners = {
+        "table1": lambda: ex.render_table1(char()),
+        "table2": lambda: ex.render_table2(char()),
+        "table3": lambda: ex.render_table3(char()),
+        "fig4": lambda: ex.render_figure4(char()),
+        "fig5": lambda: ex.render_figure5(ex.run_latency_study(**budgets)),
+        "fig6": lambda: ex.render_figure6(
+            ex.run_strategy_comparison(**budgets)),
+        "table8": lambda: ex.render_table8(
+            ex.run_strategy_comparison(**budgets)),
+        "fig7": lambda: ex.render_figure7(ex.run_fdrt_analysis(**budgets)),
+        "table9": lambda: ex.render_table9(ex.run_fdrt_analysis(**budgets)),
+        "table10": lambda: ex.render_table10(ex.run_fdrt_analysis(**budgets)),
+        "fig8": lambda: ex.render_figure8(ex.run_robustness(**budgets)),
+        "fig9": lambda: ex.render_figure9(ex.run_suite_study(**budgets)),
+    }
+    print(runners[args.artifact]())
+    return 0
+
+
+def _cmd_energy(args) -> int:
+    from repro.analysis import estimate_energy
+
+    spec = _STRATEGIES[args.strategy]
+    simulator, _ = _run(args.benchmark, spec, args)
+    print(estimate_energy(simulator.pipeline).render())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments import (
+        render_sweep,
+        run_hop_latency_sweep,
+        run_tc_capacity_sweep,
+    )
+
+    budgets = dict(instructions=args.instructions, warmup=args.warmup)
+    if args.parameter == "tc":
+        result = run_tc_capacity_sweep(**budgets)
+    else:
+        result = run_hop_latency_sweep(**budgets)
+    print(render_sweep(result))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "simulate": _cmd_simulate,
+        "compare": _cmd_compare,
+        "utilization": _cmd_utilization,
+        "experiment": _cmd_experiment,
+        "energy": _cmd_energy,
+        "sweep": _cmd_sweep,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that's a clean exit.
+        return 0
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

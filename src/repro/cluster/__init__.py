@@ -1,0 +1,16 @@
+"""Clustered execution resources: configuration, interconnect, clusters."""
+
+from repro.cluster.config import MachineConfig
+from repro.cluster.interconnect import Interconnect
+from repro.cluster.functional_units import FunctionalUnit, make_cluster_units
+from repro.cluster.reservation_station import ReservationStation
+from repro.cluster.cluster import Cluster
+
+__all__ = [
+    "Cluster",
+    "FunctionalUnit",
+    "Interconnect",
+    "MachineConfig",
+    "ReservationStation",
+    "make_cluster_units",
+]

@@ -1,0 +1,140 @@
+"""One execution cluster (paper Figure 3).
+
+A cluster bundles five reservation stations and eight special-purpose
+functional units behind an intra-cluster crossbar.  Results forward within
+the cluster in the dispatch cycle (zero latency) and to other clusters via
+the interconnect.  The cluster itself is policy-free: readiness and
+completion are delegated to the pipeline, which knows about producers,
+forwarding latencies and the memory system.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.isa import DynInst, OpClass
+from repro.cluster.functional_units import FunctionalUnit, make_cluster_units
+from repro.cluster.reservation_station import ReservationStation
+
+#: Which reservation station buffers each op class.
+_RS_FOR_CLASS = {
+    OpClass.INT_MEM: "mem",
+    OpClass.FP_MEM: "mem",
+    OpClass.BRANCH: "br",
+    OpClass.COMPLEX_INT: "cpx",
+    OpClass.COMPLEX_FP: "cpx",
+    # SIMPLE_INT / SIMPLE_FP go to one of the two simple stations.
+}
+
+
+class Cluster:
+    """Reservation stations + functional units of one cluster."""
+
+    def __init__(self, cluster_id: int, rs_entries: int = 8,
+                 rs_write_ports: int = 2) -> None:
+        self.cluster_id = cluster_id
+        self.stations: Dict[str, ReservationStation] = {
+            name: ReservationStation(f"c{cluster_id}.{name}", rs_entries,
+                                     rs_write_ports)
+            for name in ("mem", "br", "cpx", "simple0", "simple1")
+        }
+        self.units: List[FunctionalUnit] = make_cluster_units()
+        self._units_by_class: Dict[OpClass, List[FunctionalUnit]] = {}
+        for unit in self.units:
+            self._units_by_class.setdefault(unit.kind, []).append(unit)
+        self._simple_toggle = 0
+
+    # ------------------------------------------------------------------
+    # Issue side.
+    # ------------------------------------------------------------------
+    def _station_for(self, op_class: OpClass, now: int) -> Optional[ReservationStation]:
+        name = _RS_FOR_CLASS.get(op_class)
+        if name is not None:
+            station = self.stations[name]
+            return station if station.can_insert(now) else None
+        # Simple int/FP: pick between the two simple stations, preferring
+        # the emptier one (ties broken by a toggle for balance).
+        s0 = self.stations["simple0"]
+        s1 = self.stations["simple1"]
+        first, second = (s0, s1) if (len(s0), self._simple_toggle) <= (len(s1), 1 - self._simple_toggle) else (s1, s0)
+        for station in (first, second):
+            if station.can_insert(now):
+                self._simple_toggle ^= 1
+                return station
+        return None
+
+    def can_accept(self, inst: DynInst, now: int) -> bool:
+        """True if ``inst`` can be written into a station this cycle."""
+        return self._station_for(inst.static.op_class, now) is not None
+
+    def accept(self, inst: DynInst, now: int) -> bool:
+        """Insert ``inst`` into its reservation station; False if full."""
+        station = self._station_for(inst.static.op_class, now)
+        if station is None:
+            return False
+        station.insert(inst, now)
+        return True
+
+    # ------------------------------------------------------------------
+    # Execute side.
+    # ------------------------------------------------------------------
+    def dispatch_cycle(
+        self,
+        now: int,
+        is_ready: Callable[[DynInst, int], bool],
+        on_dispatch: Callable[[DynInst, FunctionalUnit, int], None],
+    ) -> int:
+        """Select and dispatch ready instructions onto free units.
+
+        Readiness is evaluated once per buffered instruction per cycle;
+        ready instructions then compete oldest-first for the free units of
+        their class.  Returns the number of dispatches.
+        """
+        ready_by_class: dict = {}
+        for station in self.stations.values():
+            entries = station.entries
+            if not entries:
+                continue
+            for inst in entries:
+                if is_ready(inst, now):
+                    key = inst.static.op_class
+                    bucket = ready_by_class.get(key)
+                    if bucket is None:
+                        ready_by_class[key] = bucket = []
+                    bucket.append((inst.seq, inst, station))
+        if not ready_by_class:
+            return 0
+        dispatched = 0
+        for kind, candidates in ready_by_class.items():
+            free_units = [
+                u for u in self._units_by_class[kind] if u.free(now)
+            ]
+            if not free_units:
+                continue
+            candidates.sort()
+            for unit, (_seq, inst, station) in zip(free_units, candidates):
+                station.remove(inst)
+                on_dispatch(inst, unit, now)
+                dispatched += 1
+        return dispatched
+
+    def _stations_feeding(self, kind: OpClass) -> List[ReservationStation]:
+        if kind in (OpClass.SIMPLE_INT, OpClass.SIMPLE_FP):
+            return [self.stations["simple0"], self.stations["simple1"]]
+        name = _RS_FOR_CLASS[kind]
+        return [self.stations[name]]
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Total buffered instructions across all stations."""
+        return sum(len(s) for s in self.stations.values())
+
+    def clear(self) -> None:
+        """Drop all buffered instructions (pipeline reset)."""
+        for station in self.stations.values():
+            station.clear()
+        for unit in self.units:
+            unit.busy_until = -1

@@ -1,0 +1,199 @@
+"""Machine configuration (paper Table 7 plus experiment knobs).
+
+``MachineConfig`` carries every architectural parameter of the simulated
+machine.  The defaults reproduce the paper's baseline: a 16-wide CTCP with
+four four-wide clusters on a linear interconnect with two cycles per hop.
+The Figure 8 variants are one-field changes (``interconnect='ring'``,
+``hop_latency=1``, or ``width=8, num_clusters=2``), and the Figure 5
+idealisation study uses the ``zero_*`` forwarding knobs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+
+#: Values accepted by :attr:`MachineConfig.forward_latency_mode`.
+FORWARD_MODES = (
+    "normal",        # per-hop inter-cluster latency (baseline)
+    "zero_all",      # Figure 5 "No Fwd Lat"
+    "zero_critical", # Figure 5 "No Crit Fwd Lat" (last-arriving input only)
+    "zero_intra_trace",  # Figure 5 "No Intra-Trace Lat"
+    "zero_inter_trace",  # Figure 5 "No Inter-Trace Lat"
+)
+
+
+@dataclasses.dataclass
+class MachineConfig:
+    """All architectural parameters of the simulated CTCP."""
+
+    # Core widths (fetch/decode/issue/execute/retire are all `width`).
+    width: int = 16
+    num_clusters: int = 4
+    rob_entries: int = 128
+
+    # Cluster internals.
+    rs_entries: int = 8
+    rs_write_ports: int = 2
+    max_issue_per_cluster: int = 4
+
+    # Interconnect: 'chain' (paper baseline; end clusters not connected),
+    # 'ring' (the Figure 8 "mesh" variant where clusters 1 and 4
+    # communicate directly), or 'xbar' (idealised full crossbar, one hop
+    # to any remote cluster — an extension beyond the paper).
+    interconnect: str = "chain"
+    hop_latency: int = 2
+
+    # Register file.
+    rf_latency: int = 2
+
+    # Front-end pipeline depths (paper Figure 2): fetch is three stages,
+    # then decode, rename, issue.  `issue_steer_latency` adds stages when
+    # issue-time steering is modelled with non-zero latency.
+    fetch_stages: int = 3
+    decode_stages: int = 1
+    rename_stages: int = 1
+    issue_stages: int = 1
+    issue_steer_latency: int = 0
+    #: Extra redirect bubble after a mispredicted branch resolves.
+    redirect_penalty: int = 1
+
+    # Trace cache.
+    tc_entries: int = 1024
+    tc_assoc: int = 2
+    tc_latency: int = 3
+    tc_max_blocks: int = 3
+    fill_unit_latency: int = 5
+    #: Partial matching (Friendly et al.): when no cached trace matches
+    #: the full predicted path, fetch the longest prefix of a candidate
+    #: line that does match.  Off in the paper's baseline.
+    tc_partial_matching: bool = False
+
+    # L1 I-cache.
+    icache_size: int = 4 * 1024
+    icache_assoc: int = 4
+    icache_latency: int = 2
+    icache_line: int = 64
+    #: Max instructions supplied per I-cache fetch (one basic block,
+    #: capped); the trace cache path can supply a full `width`.
+    icache_fetch_width: int = 8
+
+    # Branch prediction.
+    predictor_entries: int = 16384
+    btb_entries: int = 512
+    btb_assoc: int = 4
+    ras_depth: int = 32
+
+    # Data memory (see repro.memory.hierarchy for the full parameter list).
+    l1d_size: int = 32 * 1024
+    l1d_assoc: int = 4
+    l1d_latency: int = 2
+    l2_size: int = 1024 * 1024
+    l2_assoc: int = 4
+    l2_latency: int = 8
+    memory_latency: int = 65
+    mshrs: int = 16
+    dcache_ports: int = 4
+    tlb_entries: int = 128
+    tlb_assoc: int = 4
+    tlb_miss_latency: int = 30
+    store_buffer_entries: int = 32
+    load_queue_entries: int = 32
+
+    # Idealisation knobs (Figure 5 study).
+    forward_latency_mode: str = "normal"
+    #: Oracle front end: no branch mispredictions ever redirect fetch
+    #: (limit study; not used by any paper artifact).
+    perfect_branch_prediction: bool = False
+    #: Oracle data memory: every access costs the L1 hit latency
+    #: (limit study; not used by any paper artifact).
+    perfect_dcache: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width % self.num_clusters:
+            raise ValueError("width must be a multiple of num_clusters")
+        if self.forward_latency_mode not in FORWARD_MODES:
+            raise ValueError(
+                f"forward_latency_mode must be one of {FORWARD_MODES}"
+            )
+        if self.interconnect not in ("chain", "ring", "xbar"):
+            raise ValueError(
+                "interconnect must be 'chain', 'ring' or 'xbar'"
+            )
+
+    @property
+    def slots_per_cluster(self) -> int:
+        """Instruction-buffer slots feeding each cluster per cycle."""
+        return self.width // self.num_clusters
+
+    @property
+    def middle_clusters(self) -> Tuple[int, ...]:
+        """Clusters with the smallest worst-case forwarding distance.
+
+        On the linear chain these are the central clusters, the targets of
+        FDRT's Option D funneling; on a ring all clusters are equivalent.
+        """
+        n = self.num_clusters
+        if self.interconnect in ("ring", "xbar") or n <= 2:
+            return tuple(range(n))
+        if n % 2 == 0:
+            return (n // 2 - 1, n // 2)
+        return (n // 2,)
+
+    def variant(self, **overrides) -> "MachineConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **overrides)
+
+    def to_dict(self) -> dict:
+        """Plain-dict (JSON-serialisable) form of this configuration."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineConfig":
+        """Build a configuration from a dict; unknown keys are rejected."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown MachineConfig fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def to_json(self, path: str) -> None:
+        """Write the configuration as JSON to ``path``."""
+        import json
+
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, path: str) -> "MachineConfig":
+        """Load a configuration from a JSON file."""
+        import json
+
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def baseline_config(**overrides) -> MachineConfig:
+    """The paper's baseline machine, optionally with overrides."""
+    return MachineConfig(**overrides)
+
+
+def mesh_config(**overrides) -> MachineConfig:
+    """Figure 8 variant: ring interconnect (clusters 1 and 4 adjacent)."""
+    return MachineConfig(interconnect="ring", **overrides)
+
+
+def fast_forward_config(**overrides) -> MachineConfig:
+    """Figure 8 variant: one-cycle inter-cluster forwarding."""
+    return MachineConfig(hop_latency=1, **overrides)
+
+
+def two_cluster_config(**overrides) -> MachineConfig:
+    """Figure 8 variant: eight-wide machine with two four-wide clusters.
+
+    The paper reduces issue-time steering latency to two cycles for this
+    machine; that is a property of the issue-time *strategy*, applied by
+    the experiment, not of the machine config.
+    """
+    return MachineConfig(width=8, num_clusters=2, **overrides)

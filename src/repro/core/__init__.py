@@ -1,0 +1,16 @@
+"""The out-of-order clustered core and top-level simulator."""
+
+from repro.core.stats import SimStats
+from repro.core.fetch import FetchEngine, StreamCursor
+from repro.core.pipeline import Pipeline
+from repro.core.simulator import SimResult, Simulator, simulate
+
+__all__ = [
+    "FetchEngine",
+    "Pipeline",
+    "SimResult",
+    "SimStats",
+    "Simulator",
+    "StreamCursor",
+    "simulate",
+]

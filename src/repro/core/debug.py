@@ -1,0 +1,166 @@
+"""Pipeline debugging and stall-attribution tooling.
+
+Two facilities a cycle-level simulator needs in practice:
+
+* :class:`LifetimeRecorder` — captures per-instruction lifetime records
+  (fetch/issue/dispatch/complete/retire cycles plus provenance and
+  placement) over a window, and renders classic text pipeline diagrams::
+
+      seq  pc       op     cl  F.....I..D.E....R
+      512  0x12a4   LOAD    2  |F    I D  E    R|
+
+* :class:`StallAttributor` — classifies, cycle by cycle, why the ROB
+  head failed to retire (waiting on execution, memory, front-end empty,
+  ...), producing the CPI-stack-style breakdown used when diagnosing why
+  a placement policy's forwarding gains do or don't become IPC.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import Counter
+from typing import Dict, List
+
+from repro.core.pipeline import Pipeline
+from repro.isa import DynInst
+
+
+@dataclasses.dataclass(frozen=True)
+class Lifetime:
+    """Immutable per-instruction lifetime snapshot."""
+
+    seq: int
+    pc: int
+    opcode: str
+    cluster: int
+    from_trace_cache: bool
+    fetch: int
+    issue: int
+    dispatch: int
+    complete: int
+    retire: int
+
+    @property
+    def latency(self) -> int:
+        """Fetch-to-retire latency in cycles."""
+        return self.retire - self.fetch
+
+
+class LifetimeRecorder:
+    """Records lifetimes of retiring instructions via the fill unit hook."""
+
+    def __init__(self, pipeline: Pipeline, capacity: int = 1024) -> None:
+        self.capacity = capacity
+        self.records: List[Lifetime] = []
+        self._pipeline = pipeline
+        self._original = pipeline.fill_unit.retire
+        pipeline.fill_unit.retire = self._observe
+
+    def _observe(self, inst: DynInst, now: int) -> None:
+        if len(self.records) < self.capacity:
+            self.records.append(Lifetime(
+                seq=inst.seq,
+                pc=inst.static.pc,
+                opcode=inst.static.opcode.name,
+                cluster=inst.cluster,
+                from_trace_cache=inst.from_trace_cache,
+                fetch=inst.fetch_cycle,
+                issue=inst.issue_cycle,
+                dispatch=inst.dispatch_cycle,
+                complete=inst.complete_cycle,
+                retire=inst.retire_cycle,
+            ))
+        self._original(inst, now)
+
+    def detach(self) -> None:
+        """Stop recording and restore the fill unit hook."""
+        self._pipeline.fill_unit.retire = self._original
+
+    def diagram(self, max_rows: int = 20, width: int = 64) -> str:
+        """Text pipeline diagram of the recorded window."""
+        rows = self.records[:max_rows]
+        if not rows:
+            return "(no records)"
+        start = min(r.fetch for r in rows)
+        end = max(r.retire for r in rows)
+        span = max(1, end - start)
+        scale = min(1.0, (width - 1) / span)
+        lines = [f"{'seq':>6} {'pc':>8} {'op':<7} {'cl':>2}  timeline "
+                 f"(F=fetch I=issue D=dispatch E=complete R=retire)"]
+        for r in rows:
+            lane = [" "] * width
+            for cycle, mark in ((r.fetch, "F"), (r.issue, "I"),
+                                (r.dispatch, "D"), (r.complete, "E"),
+                                (r.retire, "R")):
+                if cycle >= 0:
+                    pos = min(width - 1, int((cycle - start) * scale))
+                    lane[pos] = mark
+            lines.append(
+                f"{r.seq:>6} {r.pc:>#8x} {r.opcode:<7} {r.cluster:>2}  "
+                + "".join(lane)
+            )
+        return "\n".join(lines)
+
+    def mean_latency(self) -> float:
+        """Mean fetch-to-retire latency over the window."""
+        if not self.records:
+            return 0.0
+        return sum(r.latency for r in self.records) / len(self.records)
+
+
+#: Stall categories reported by :class:`StallAttributor`.
+STALL_CATEGORIES = (
+    "retiring",        # the head retired this cycle
+    "empty",           # ROB empty (front-end starved)
+    "exec_wait",       # head issued but not yet complete: execution/memory
+    "not_dispatched",  # head still waiting in a reservation station
+    "complete_wait",   # head complete, retired next cycle (width effects)
+)
+
+
+class StallAttributor:
+    """Classifies every cycle by the state of the ROB head."""
+
+    def __init__(self, pipeline: Pipeline) -> None:
+        self.pipeline = pipeline
+        self.counts: Counter = Counter()
+
+    def observe_cycle(self) -> str:
+        """Classify the current cycle (call once per cycle, then step)."""
+        pipeline = self.pipeline
+        now = pipeline.now
+        if not pipeline.rob:
+            category = "empty"
+        else:
+            head = pipeline.rob[0]
+            if head.complete_cycle >= 0 and head.complete_cycle <= now:
+                category = "retiring"
+            elif head.dispatch_cycle >= 0:
+                category = "exec_wait"
+            elif head.issue_cycle >= 0:
+                category = "not_dispatched"
+            else:
+                category = "complete_wait"
+        self.counts[category] += 1
+        return category
+
+    def run(self, cycles: int) -> Dict[str, float]:
+        """Step the pipeline ``cycles`` times, attributing each cycle."""
+        for _ in range(cycles):
+            self.observe_cycle()
+            self.pipeline.step()
+        return self.breakdown()
+
+    def breakdown(self) -> Dict[str, float]:
+        """Fractions per category (sums to 1 over observed cycles)."""
+        total = sum(self.counts.values()) or 1
+        return {cat: self.counts.get(cat, 0) / total
+                for cat in STALL_CATEGORIES}
+
+    def render(self) -> str:
+        """Human-readable attribution report."""
+        breakdown = self.breakdown()
+        lines = ["ROB-head cycle attribution:"]
+        for category in STALL_CATEGORIES:
+            lines.append(f"  {category:<15} {breakdown[category]:.1%}")
+        return "\n".join(lines)

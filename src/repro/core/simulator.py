@@ -1,0 +1,162 @@
+"""Top-level simulation API.
+
+:func:`simulate` is the one-call entry point used by the examples and the
+experiment harness::
+
+    from repro import simulate, StrategySpec
+    result = simulate("bzip2", StrategySpec(kind="fdrt"),
+                      instructions=20_000, warmup=5_000)
+    print(result.ipc, result.pct_intra_cluster_forwarding)
+
+``Simulator`` is the stateful object underneath, for callers that want to
+drive warmup/measurement phases themselves or inspect the live pipeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Union
+
+from repro.assign.base import StrategySpec
+from repro.cluster.config import MachineConfig
+from repro.core.pipeline import Pipeline
+from repro.workloads.generator import generate_program
+from repro.workloads.profiles import profile_for
+from repro.workloads.program import Program
+
+
+@dataclasses.dataclass(frozen=True)
+class SimResult:
+    """Immutable snapshot of one simulation's statistics."""
+
+    benchmark: str
+    strategy: str
+    cycles: int
+    retired: int
+    ipc: float
+    # Table 1.
+    pct_tc_instructions: float
+    avg_trace_size: float
+    # Table 2 / Figure 4.
+    pct_deps_critical: float
+    pct_critical_inter_trace: float
+    critical_source: Dict[str, float]
+    # Table 3.
+    producer_repetition: Dict[str, float]
+    # Table 8.
+    pct_intra_cluster_forwarding: float
+    avg_forward_distance: float
+    # Figure 7 (FDRT only; zeros otherwise).
+    option_counts: Dict[str, int]
+    # Table 9.
+    fill_migration_rate: float
+    chain_migration_rate: float
+    # Table 10.
+    pct_migrating_intra_cluster: float
+    # Misc.
+    mispredict_rate: float
+    tc_hit_rate: float
+    l1d_hit_rate: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (JSON-serialisable) of this result."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(**data)
+
+    def speedup_over(self, base: "SimResult") -> float:
+        """Execution-time speedup of this run relative to ``base``.
+
+        Computed as the IPC ratio, which equals the cycle ratio for equal
+        work.  Retired counts may differ by the retire width (simulation
+        stops on the first cycle that reaches the budget), so they are
+        only required to be within one percent of each other.
+        """
+        if base.retired == 0 or self.retired == 0:
+            raise ValueError("cannot compare empty runs")
+        tolerance = max(32.0, 0.01 * base.retired)
+        if abs(self.retired - base.retired) > tolerance:
+            raise ValueError(
+                f"speedup needs comparable work: {self.retired} vs {base.retired}"
+            )
+        if base.ipc == 0:
+            raise ValueError("base run has zero IPC")
+        return self.ipc / base.ipc
+
+
+class Simulator:
+    """Owns a pipeline for one (benchmark, machine, strategy) combination."""
+
+    def __init__(
+        self,
+        benchmark: Union[str, Program],
+        spec: Optional[StrategySpec] = None,
+        config: Optional[MachineConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if isinstance(benchmark, Program):
+            self.program = benchmark
+            self.benchmark_name = benchmark.name
+        else:
+            self.program = generate_program(profile_for(benchmark))
+            self.benchmark_name = benchmark
+        self.spec = spec if spec is not None else StrategySpec(kind="fdrt")
+        self.config = config if config is not None else MachineConfig()
+        self.pipeline = Pipeline(self.program, self.config, self.spec, seed=seed)
+
+    def warmup(self, instructions: int) -> None:
+        """Run ``instructions`` then zero statistics (state preserved)."""
+        self.pipeline.run(instructions)
+        self.pipeline.reset_stats()
+
+    def run(self, instructions: int) -> SimResult:
+        """Simulate ``instructions`` and snapshot the statistics."""
+        self.pipeline.run(instructions)
+        return self.result()
+
+    def result(self) -> SimResult:
+        """Snapshot the current statistics into a :class:`SimResult`."""
+        pipeline = self.pipeline
+        stats = pipeline.stats
+        fill = pipeline.fill_unit
+        option_counts = dict(getattr(pipeline.strategy, "option_counts", {}))
+        return SimResult(
+            benchmark=self.benchmark_name,
+            strategy=self.spec.label,
+            cycles=stats.cycles,
+            retired=stats.retired,
+            ipc=stats.ipc,
+            pct_tc_instructions=stats.pct_tc_instructions,
+            avg_trace_size=stats.avg_trace_size,
+            pct_deps_critical=stats.pct_deps_critical,
+            pct_critical_inter_trace=stats.pct_critical_inter_trace,
+            critical_source=stats.critical_source_breakdown(),
+            producer_repetition=stats.producer_repetition(),
+            pct_intra_cluster_forwarding=stats.pct_intra_cluster_forwarding,
+            avg_forward_distance=stats.avg_forward_distance,
+            option_counts=option_counts,
+            fill_migration_rate=fill.migration_rate,
+            chain_migration_rate=fill.chain_migration_rate,
+            pct_migrating_intra_cluster=stats.pct_migrating_intra_cluster,
+            mispredict_rate=stats.mispredict_rate,
+            tc_hit_rate=pipeline.trace_cache.hit_rate,
+            l1d_hit_rate=pipeline.memory.l1d.hit_rate,
+        )
+
+
+def simulate(
+    benchmark: Union[str, Program],
+    spec: Optional[StrategySpec] = None,
+    config: Optional[MachineConfig] = None,
+    instructions: int = 20_000,
+    warmup: int = 5_000,
+    seed: Optional[int] = None,
+) -> SimResult:
+    """Generate the workload, warm up, measure, and return the result."""
+    simulator = Simulator(benchmark, spec=spec, config=config, seed=seed)
+    if warmup:
+        simulator.warmup(warmup)
+    return simulator.run(instructions)

@@ -1,0 +1,94 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+Each experiment module exposes a ``run_*`` function returning a structured
+result object and a ``render_*`` function producing the paper-style text
+table.  The mapping to the paper:
+
+=========  ==========================================  =====================
+Artifact   Content                                     Module
+=========  ==========================================  =====================
+Table 1    %TC instructions, trace size                characterization
+Figure 4   critical-input source (RF/RS1/RS2)          characterization
+Table 2    critical forwarding, inter-trace share      characterization
+Table 3    producer repetition rates                   characterization
+Figure 5   speedup from removing latencies             latency_study
+Figure 6   speedup per assignment strategy             strategy_comparison
+Table 8    intra-cluster forwarding %, distances       strategy_comparison
+Figure 7   FDRT option mix                             fdrt_analysis
+Table 9    cluster migration, pinning vs not           fdrt_analysis
+Table 10   intra-cluster fwd during migration          fdrt_analysis
+Figure 8   robustness across machine variants          robustness
+Figure 9   full SPECint2000 + MediaBench suites        suite_study
+=========  ==========================================  =====================
+
+Run budgets default to values that finish in minutes on a laptop; pass
+larger ``instructions``/``warmup`` for tighter numbers.
+"""
+
+from repro.experiments.runner import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_WARMUP,
+    ExperimentTable,
+    harmonic_mean,
+    run_matrix,
+)
+from repro.experiments.characterization import (
+    run_characterization,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_figure4,
+)
+from repro.experiments.latency_study import run_latency_study, render_figure5
+from repro.experiments.strategy_comparison import (
+    run_strategy_comparison,
+    render_figure6,
+    render_table8,
+)
+from repro.experiments.fdrt_analysis import (
+    run_fdrt_analysis,
+    render_figure7,
+    render_table9,
+    render_table10,
+)
+from repro.experiments.robustness import run_robustness, render_figure8
+from repro.experiments.suite_study import run_suite_study, render_figure9
+from repro.experiments.reference import render_table6, render_table7
+from repro.experiments.report import generate_report
+from repro.experiments.sensitivity import (
+    render_sweep,
+    run_hop_latency_sweep,
+    run_tc_capacity_sweep,
+)
+
+__all__ = [
+    "DEFAULT_INSTRUCTIONS",
+    "DEFAULT_WARMUP",
+    "ExperimentTable",
+    "harmonic_mean",
+    "render_figure4",
+    "render_figure5",
+    "render_figure6",
+    "render_figure7",
+    "render_figure8",
+    "render_figure9",
+    "render_table1",
+    "render_table10",
+    "render_table2",
+    "render_table3",
+    "render_table6",
+    "render_table7",
+    "render_table8",
+    "render_table9",
+    "render_sweep",
+    "generate_report",
+    "run_characterization",
+    "run_hop_latency_sweep",
+    "run_tc_capacity_sweep",
+    "run_fdrt_analysis",
+    "run_latency_study",
+    "run_matrix",
+    "run_robustness",
+    "run_strategy_comparison",
+    "run_suite_study",
+]

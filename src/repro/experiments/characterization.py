@@ -1,0 +1,119 @@
+"""Instruction-stream characterization: Tables 1-3 and Figure 4.
+
+One set of baseline runs over the six selected SPECint benchmarks supplies
+all four artifacts, exactly as in the paper's Section 3 (data collected on
+the base trace cache processor).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+from repro.assign.base import StrategySpec
+from repro.cluster.config import MachineConfig
+from repro.core.simulator import SimResult
+from repro.experiments.runner import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_WARMUP,
+    ExperimentTable,
+    pct,
+    run_matrix,
+)
+from repro.workloads.suites import SPECINT2000_SELECTED
+
+
+@dataclasses.dataclass(frozen=True)
+class CharacterizationResult:
+    """Per-benchmark baseline results for the Section 3 characterization."""
+
+    results: Dict[str, SimResult]
+
+    @property
+    def benchmarks(self) -> Sequence[str]:
+        return list(self.results)
+
+
+def run_characterization(
+    benchmarks: Sequence[str] = SPECINT2000_SELECTED,
+    config: Optional[MachineConfig] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
+) -> CharacterizationResult:
+    """Run the base machine over ``benchmarks`` and collect the stats."""
+    spec = StrategySpec(kind="base")
+    matrix = run_matrix(benchmarks, [spec], config=config,
+                        instructions=instructions, warmup=warmup)
+    return CharacterizationResult(
+        results={b: matrix[(b, spec.label)] for b in benchmarks}
+    )
+
+
+def render_table1(result: CharacterizationResult) -> str:
+    """Table 1: trace cache residency and trace sizes."""
+    table = ExperimentTable(
+        "Table 1. Trace Cache Characteristics",
+        ["Benchmark", "% TC Instr", "Trace Size"],
+    )
+    for name, r in result.results.items():
+        table.add_row(name, pct(r.pct_tc_instructions), f"{r.avg_trace_size:.1f}")
+    values = list(result.results.values())
+    table.add_row(
+        "Avg",
+        pct(sum(r.pct_tc_instructions for r in values) / len(values)),
+        f"{sum(r.avg_trace_size for r in values) / len(values):.1f}",
+    )
+    return table.render()
+
+
+def render_table2(result: CharacterizationResult) -> str:
+    """Table 2: criticality of forwarded dependencies."""
+    table = ExperimentTable(
+        "Table 2. Critical Data Forwarding Dependencies",
+        ["Benchmark", "% of deps critical", "% critical inter-trace"],
+    )
+    for name, r in result.results.items():
+        table.add_row(name, pct(r.pct_deps_critical),
+                      pct(r.pct_critical_inter_trace))
+    values = list(result.results.values())
+    table.add_row(
+        "Avg",
+        pct(sum(r.pct_deps_critical for r in values) / len(values)),
+        pct(sum(r.pct_critical_inter_trace for r in values) / len(values)),
+    )
+    return table.render()
+
+
+def render_table3(result: CharacterizationResult) -> str:
+    """Table 3: frequency of repeated forwarding producers."""
+    table = ExperimentTable(
+        "Table 3. Frequency of Repeated Forwarding Producers",
+        ["Benchmark", "All RS1", "All RS2", "Inter-trace RS1", "Inter-trace RS2"],
+    )
+    sums = [0.0, 0.0, 0.0, 0.0]
+    for name, r in result.results.items():
+        rep = r.producer_repetition
+        row = [rep["all_rs1"], rep["all_rs2"], rep["inter_rs1"], rep["inter_rs2"]]
+        for i, v in enumerate(row):
+            sums[i] += v
+        table.add_row(name, *(pct(v) for v in row))
+    n = len(result.results)
+    table.add_row("Average", *(pct(s / n) for s in sums))
+    return table.render()
+
+
+def render_figure4(result: CharacterizationResult) -> str:
+    """Figure 4: source of the most critical input, as a text bar chart."""
+    table = ExperimentTable(
+        "Figure 4. Source of Most Critical Input Dependency",
+        ["Benchmark", "From RF", "From RS1", "From RS2"],
+    )
+    sums = {"RF": 0.0, "RS1": 0.0, "RS2": 0.0}
+    for name, r in result.results.items():
+        src = r.critical_source
+        for key in sums:
+            sums[key] += src[key]
+        table.add_row(name, pct(src["RF"]), pct(src["RS1"]), pct(src["RS2"]))
+    n = len(result.results)
+    table.add_row("Avg", *(pct(sums[k] / n) for k in ("RF", "RS1", "RS2")))
+    return table.render()

@@ -1,0 +1,121 @@
+"""FDRT-specific analysis: Figure 7, Table 9 and Table 10.
+
+* Figure 7 breaks dynamic instructions down by the Table 5 option the
+  fill unit applied (A: intra-trace only, B: chain only, C: both,
+  D: producer-only funneled to the middle, E: no dependencies, plus the
+  small class that was skipped for lack of nearby slots).
+* Table 9 quantifies *cluster migration* — instances whose assigned
+  cluster changed since the previous invocation — with and without leader
+  pinning, for all instructions and for chain instructions.
+* Table 10 reports intra-cluster critical forwarding during migration
+  under both pinning settings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+from repro.assign.base import StrategySpec
+from repro.cluster.config import MachineConfig
+from repro.core.simulator import SimResult, simulate
+from repro.experiments.runner import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_WARMUP,
+    ExperimentTable,
+    pct,
+)
+from repro.workloads.suites import SPECINT2000_SELECTED
+
+_OPTION_ORDER = ("A", "B", "C", "D", "E", "skipped")
+
+
+@dataclasses.dataclass(frozen=True)
+class FDRTAnalysisResult:
+    """FDRT runs with and without pinning, per benchmark."""
+
+    pinned: Dict[str, SimResult]
+    unpinned: Dict[str, SimResult]
+
+
+def run_fdrt_analysis(
+    benchmarks: Sequence[str] = SPECINT2000_SELECTED,
+    config: Optional[MachineConfig] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
+) -> FDRTAnalysisResult:
+    """Run FDRT with pinning on and off over the benchmarks."""
+    pinned, unpinned = {}, {}
+    for benchmark in benchmarks:
+        pinned[benchmark] = simulate(
+            benchmark, StrategySpec(kind="fdrt", pinning=True),
+            config=config, instructions=instructions, warmup=warmup,
+        )
+        unpinned[benchmark] = simulate(
+            benchmark, StrategySpec(kind="fdrt", pinning=False),
+            config=config, instructions=instructions, warmup=warmup,
+        )
+    return FDRTAnalysisResult(pinned=pinned, unpinned=unpinned)
+
+
+def render_figure7(result: FDRTAnalysisResult) -> str:
+    """Figure 7: share of instructions per FDRT assignment option."""
+    table = ExperimentTable(
+        "Figure 7. FDRT Critical Input Distribution (Table 5 options)",
+        ["Benchmark"] + [f"Option {o}" if len(o) == 1 else o
+                         for o in _OPTION_ORDER],
+    )
+    sums = {o: 0.0 for o in _OPTION_ORDER}
+    for benchmark, r in result.pinned.items():
+        total = sum(r.option_counts.values()) or 1
+        shares = {o: r.option_counts.get(o, 0) / total for o in _OPTION_ORDER}
+        for o in _OPTION_ORDER:
+            sums[o] += shares[o]
+        table.add_row(benchmark, *(pct(shares[o]) for o in _OPTION_ORDER))
+    n = len(result.pinned)
+    table.add_row("Average", *(pct(sums[o] / n) for o in _OPTION_ORDER))
+    return table.render()
+
+
+def render_table9(result: FDRTAnalysisResult) -> str:
+    """Table 9: instruction cluster migration, pinning vs no pinning."""
+    table = ExperimentTable(
+        "Table 9. Instruction Cluster Migration",
+        ["Benchmark", "All Pinning", "All No-Pin", "All Reduction",
+         "Chain Reduction"],
+    )
+
+    def reduction(no_pin: float, pin: float) -> str:
+        if no_pin == 0:
+            return "n/a"
+        return pct((no_pin - pin) / no_pin)
+
+    for benchmark in result.pinned:
+        pin = result.pinned[benchmark]
+        nopin = result.unpinned[benchmark]
+        table.add_row(
+            benchmark,
+            pct(pin.fill_migration_rate),
+            pct(nopin.fill_migration_rate),
+            reduction(nopin.fill_migration_rate, pin.fill_migration_rate),
+            reduction(nopin.chain_migration_rate, pin.chain_migration_rate),
+        )
+    return table.render()
+
+
+def render_table10(result: FDRTAnalysisResult) -> str:
+    """Table 10: intra-cluster critical forwarding during migration."""
+    table = ExperimentTable(
+        "Table 10. Intra-Cluster Critical Data Forwarding During Migration",
+        ["Benchmark", "With Pinning", "No Pinning"],
+    )
+    sums = [0.0, 0.0]
+    for benchmark in result.pinned:
+        pin = result.pinned[benchmark].pct_migrating_intra_cluster
+        nopin = result.unpinned[benchmark].pct_migrating_intra_cluster
+        sums[0] += pin
+        sums[1] += nopin
+        table.add_row(benchmark, pct(pin), pct(nopin))
+    n = len(result.pinned)
+    table.add_row("Average", pct(sums[0] / n), pct(sums[1] / n))
+    return table.render()

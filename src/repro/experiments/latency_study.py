@@ -1,0 +1,92 @@
+"""Figure 5: expected speedup from removing dependency-related latencies.
+
+Five idealisations of the base machine are simulated per benchmark:
+
+* ``No Fwd Lat`` — all inter-cluster forwarding becomes free;
+* ``No Crit Fwd Lat`` — only the last-arriving forwarded input is free;
+* ``No Intra-Trace Lat`` — forwarding within a trace is free;
+* ``No Inter-Trace Lat`` — forwarding across traces is free;
+* ``No RF Lat`` — register file reads become instantaneous.
+
+The paper's headline observations: removing only the critical forwarding
+latency captures most of the benefit of removing all of it, RF latency is
+irrelevant, and inter-trace forwarding matters about as much as
+intra-trace forwarding despite being rarer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+from repro.assign.base import StrategySpec
+from repro.cluster.config import MachineConfig
+from repro.core.simulator import SimResult, simulate
+from repro.experiments.runner import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_WARMUP,
+    ExperimentTable,
+    harmonic_mean,
+)
+from repro.workloads.suites import SPECINT2000_SELECTED
+
+#: (label, MachineConfig overrides) per idealisation, in paper order.
+IDEALIZATIONS = (
+    ("No Fwd Lat", {"forward_latency_mode": "zero_all"}),
+    ("No Crit Fwd Lat", {"forward_latency_mode": "zero_critical"}),
+    ("No Intra-Trace Lat", {"forward_latency_mode": "zero_intra_trace"}),
+    ("No Inter-Trace Lat", {"forward_latency_mode": "zero_inter_trace"}),
+    ("No RF Lat", {"rf_latency": 0}),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyStudyResult:
+    """Speedups per benchmark per idealisation, plus raw results."""
+
+    speedups: Dict[str, Dict[str, float]]  # benchmark -> label -> speedup
+    base: Dict[str, SimResult]
+
+    def mean_speedup(self, label: str) -> float:
+        return harmonic_mean(
+            [self.speedups[b][label] for b in self.speedups]
+        )
+
+
+def run_latency_study(
+    benchmarks: Sequence[str] = SPECINT2000_SELECTED,
+    config: Optional[MachineConfig] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
+) -> LatencyStudyResult:
+    """Simulate the base machine and the five idealisations."""
+    base_config = config or MachineConfig()
+    spec = StrategySpec(kind="base")
+    base: Dict[str, SimResult] = {}
+    speedups: Dict[str, Dict[str, float]] = {}
+    for benchmark in benchmarks:
+        base[benchmark] = simulate(benchmark, spec, config=base_config,
+                                   instructions=instructions, warmup=warmup)
+        speedups[benchmark] = {}
+        for label, overrides in IDEALIZATIONS:
+            ideal = simulate(
+                benchmark, spec, config=base_config.variant(**overrides),
+                instructions=instructions, warmup=warmup,
+            )
+            speedups[benchmark][label] = ideal.speedup_over(base[benchmark])
+    return LatencyStudyResult(speedups=speedups, base=base)
+
+
+def render_figure5(result: LatencyStudyResult) -> str:
+    """Figure 5 as a table of speedups (text rendering of the bars)."""
+    labels = [label for label, _ in IDEALIZATIONS]
+    table = ExperimentTable(
+        "Figure 5. Expected Speedup Removing Certain Latencies",
+        ["Benchmark"] + labels,
+    )
+    for benchmark, per_label in result.speedups.items():
+        table.add_row(benchmark,
+                      *(f"{per_label[label]:.3f}" for label in labels))
+    table.add_row("HM", *(f"{result.mean_speedup(label):.3f}"
+                          for label in labels))
+    return table.render()

@@ -1,0 +1,97 @@
+"""Shared experiment infrastructure: run matrices, means, table rendering.
+
+Budgets can be overridden globally through the environment variables
+``REPRO_BENCH_INSTRUCTIONS`` and ``REPRO_BENCH_WARMUP`` (used by the
+pytest-benchmark harness so CI can run quick passes).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.assign.base import StrategySpec
+from repro.cluster.config import MachineConfig
+from repro.core.simulator import SimResult, simulate
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+#: Default measurement budget per run (instructions).
+DEFAULT_INSTRUCTIONS = _env_int("REPRO_BENCH_INSTRUCTIONS", 40_000)
+#: Default warmup budget per run (instructions); warming the predictor,
+#: caches and trace cache matters more than long measurement here.
+DEFAULT_WARMUP = _env_int("REPRO_BENCH_WARMUP", 30_000)
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean, the paper's average for speedups (footnote 3)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def run_matrix(
+    benchmarks: Iterable[str],
+    specs: Iterable[StrategySpec],
+    config: Optional[MachineConfig] = None,
+    instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> Dict[Tuple[str, str], SimResult]:
+    """Simulate every (benchmark, strategy) combination.
+
+    Returns results keyed by ``(benchmark, spec.label)``.
+    """
+    instructions = instructions or DEFAULT_INSTRUCTIONS
+    warmup = warmup if warmup is not None else DEFAULT_WARMUP
+    specs = list(specs)
+    results: Dict[Tuple[str, str], SimResult] = {}
+    for benchmark in benchmarks:
+        for spec in specs:
+            results[(benchmark, spec.label)] = simulate(
+                benchmark, spec, config=config,
+                instructions=instructions, warmup=warmup,
+            )
+    return results
+
+
+class ExperimentTable:
+    """A small text-table builder for paper-style output."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+
+def pct(value: float) -> str:
+    """Format a fraction as the paper's percentage style."""
+    return f"{100.0 * value:.2f}%"

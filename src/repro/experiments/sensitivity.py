@@ -1,0 +1,112 @@
+"""Sensitivity sweeps beyond the paper's figures (extension).
+
+Two substrate sweeps a CTCP study naturally wants next:
+
+* **Trace cache capacity** — how the FDRT advantage depends on trace
+  cache size (the feedback mechanism lives in trace cache storage, so
+  residency is its lifeline);
+* **Hop latency** — how all strategies scale as inter-cluster
+  communication gets cheaper or dearer (generalising Figure 8's
+  one-cycle point).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Sequence, Tuple
+
+from repro.assign.base import StrategySpec
+from repro.cluster.config import MachineConfig
+from repro.core.simulator import SimResult, simulate
+from repro.experiments.runner import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_WARMUP,
+    ExperimentTable,
+    harmonic_mean,
+)
+from repro.workloads.suites import SPECINT2000_SELECTED
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResult:
+    """Results of a one-dimensional machine sweep."""
+
+    parameter: str
+    #: point -> (benchmark, label) -> result
+    points: Dict[object, Dict[Tuple[str, str], SimResult]]
+    benchmarks: Tuple[str, ...]
+
+    def mean_speedup(self, point, label: str) -> float:
+        results = self.points[point]
+        return harmonic_mean([
+            results[(b, label)].speedup_over(results[(b, "Base")])
+            for b in self.benchmarks
+        ])
+
+
+def _sweep(
+    parameter: str,
+    configs: Dict[object, MachineConfig],
+    benchmarks: Sequence[str],
+    specs: Sequence[StrategySpec],
+    instructions: int,
+    warmup: int,
+) -> SweepResult:
+    all_specs = [StrategySpec(kind="base")] + list(specs)
+    points = {}
+    for point, config in configs.items():
+        results = {}
+        for benchmark in benchmarks:
+            for spec in all_specs:
+                results[(benchmark, spec.label)] = simulate(
+                    benchmark, spec, config=config,
+                    instructions=instructions, warmup=warmup,
+                )
+        points[point] = results
+    return SweepResult(parameter=parameter, points=points,
+                       benchmarks=tuple(benchmarks))
+
+
+def run_tc_capacity_sweep(
+    benchmarks: Sequence[str] = SPECINT2000_SELECTED[:3],
+    sizes: Sequence[int] = (128, 512, 1024, 4096),
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
+) -> SweepResult:
+    """FDRT vs base across trace cache sizes."""
+    configs = {size: MachineConfig(tc_entries=size) for size in sizes}
+    return _sweep("tc_entries", configs, benchmarks,
+                  [StrategySpec(kind="fdrt")], instructions, warmup)
+
+
+def run_hop_latency_sweep(
+    benchmarks: Sequence[str] = SPECINT2000_SELECTED[:3],
+    latencies: Sequence[int] = (1, 2, 3, 4),
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
+) -> SweepResult:
+    """FDRT and Friendly vs base across hop latencies."""
+    configs = {lat: MachineConfig(hop_latency=lat) for lat in latencies}
+    return _sweep("hop_latency", configs, benchmarks,
+                  [StrategySpec(kind="fdrt"), StrategySpec(kind="friendly")],
+                  instructions, warmup)
+
+
+def render_sweep(result: SweepResult) -> str:
+    """Render a sweep as a table: one row per point."""
+    labels = sorted({
+        label
+        for results in result.points.values()
+        for (_b, label) in results
+        if label != "Base"
+    })
+    table = ExperimentTable(
+        f"Sensitivity sweep over {result.parameter}",
+        [result.parameter] + [f"{label} speedup" for label in labels],
+    )
+    for point in result.points:
+        table.add_row(
+            point,
+            *(f"{result.mean_speedup(point, label):.3f}" for label in labels),
+        )
+    return table.render()

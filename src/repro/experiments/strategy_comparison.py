@@ -1,0 +1,123 @@
+"""Figure 6 and Table 8: the headline strategy comparison.
+
+Four dynamic cluster assignment strategies are compared against the
+slot-based baseline on the six selected SPECint benchmarks:
+
+* latency-free issue-time steering (the upper bound of Section 2.3),
+* realistic issue-time steering (four cycles of steering latency),
+* Friendly et al.'s retire-time reordering,
+* FDRT (the paper's contribution).
+
+Table 8 reports the two mechanisms behind the speedups: the fraction of
+critical forwarding that stays within a cluster (8a) and the average
+forwarding distance in clusters (8b).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.assign.base import StrategySpec
+from repro.cluster.config import MachineConfig
+from repro.core.simulator import SimResult
+from repro.experiments.runner import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_WARMUP,
+    ExperimentTable,
+    harmonic_mean,
+    pct,
+    run_matrix,
+)
+from repro.workloads.suites import SPECINT2000_SELECTED
+
+#: The strategies of Figure 6, in presentation order (base is implicit).
+FIGURE6_SPECS = (
+    StrategySpec(kind="issue", steer_latency=0),
+    StrategySpec(kind="issue", steer_latency=4),
+    StrategySpec(kind="fdrt"),
+    StrategySpec(kind="friendly"),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class StrategyComparisonResult:
+    """All (benchmark, strategy) results including the baseline."""
+
+    results: Dict[Tuple[str, str], SimResult]
+    benchmarks: Tuple[str, ...]
+    labels: Tuple[str, ...]
+
+    def speedup(self, benchmark: str, label: str) -> float:
+        return self.results[(benchmark, label)].speedup_over(
+            self.results[(benchmark, "Base")]
+        )
+
+    def mean_speedup(self, label: str) -> float:
+        return harmonic_mean(
+            [self.speedup(b, label) for b in self.benchmarks]
+        )
+
+
+def run_strategy_comparison(
+    benchmarks: Sequence[str] = SPECINT2000_SELECTED,
+    specs: Sequence[StrategySpec] = FIGURE6_SPECS,
+    config: Optional[MachineConfig] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
+) -> StrategyComparisonResult:
+    """Run base plus every strategy over the benchmarks."""
+    all_specs = [StrategySpec(kind="base")] + list(specs)
+    results = run_matrix(benchmarks, all_specs, config=config,
+                         instructions=instructions, warmup=warmup)
+    return StrategyComparisonResult(
+        results=results,
+        benchmarks=tuple(benchmarks),
+        labels=tuple(s.label for s in all_specs),
+    )
+
+
+def render_figure6(result: StrategyComparisonResult) -> str:
+    """Figure 6: speedup over base per strategy (text bars)."""
+    labels = [l for l in result.labels if l != "Base"]
+    table = ExperimentTable(
+        "Figure 6. Speedup Due to Cluster Assignment Strategy",
+        ["Benchmark"] + labels,
+    )
+    for benchmark in result.benchmarks:
+        table.add_row(
+            benchmark,
+            *(f"{result.speedup(benchmark, label):.3f}" for label in labels),
+        )
+    table.add_row("HM", *(f"{result.mean_speedup(label):.3f}"
+                          for label in labels))
+    return table.render()
+
+
+def render_table8(result: StrategyComparisonResult) -> str:
+    """Table 8: intra-cluster forwarding share and forwarding distance."""
+    labels = [l for l in ("Base", "Friendly", "FDRT") if l in result.labels]
+    part_a = ExperimentTable(
+        "Table 8a. Percentage of Intra-Cluster Forwarding (critical inputs)",
+        ["Benchmark"] + labels,
+    )
+    part_b = ExperimentTable(
+        "Table 8b. Average Data Forwarding Distance (clusters)",
+        ["Benchmark"] + labels,
+    )
+    sums_a = {label: 0.0 for label in labels}
+    sums_b = {label: 0.0 for label in labels}
+    for benchmark in result.benchmarks:
+        row_a, row_b = [], []
+        for label in labels:
+            r = result.results[(benchmark, label)]
+            row_a.append(r.pct_intra_cluster_forwarding)
+            row_b.append(r.avg_forward_distance)
+            sums_a[label] += r.pct_intra_cluster_forwarding
+            sums_b[label] += r.avg_forward_distance
+        part_a.add_row(benchmark, *(pct(v) for v in row_a))
+        part_b.add_row(benchmark, *(f"{v:.2f}" for v in row_b))
+    n = len(result.benchmarks)
+    part_a.add_row("Average", *(pct(sums_a[l] / n) for l in labels))
+    part_b.add_row("Average", *(f"{sums_b[l] / n:.2f}" for l in labels))
+    return part_a.render() + "\n\n" + part_b.render()

@@ -1,0 +1,96 @@
+"""Figure 9: strategy speedups over the full benchmark suites.
+
+All twelve SPEC CPU2000 integer benchmarks and fourteen MediaBench
+programs, four strategies each (no-lat issue-time, realistic issue-time,
+FDRT, Friendly) against the slot-based base.  The paper's findings to
+reproduce: FDRT provides over twice Friendly's improvement on both
+suites, stays ahead of realistic issue-time steering, and — notably for
+MediaBench — beats even latency-free issue-time steering on average while
+never slowing a program down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.assign.base import StrategySpec
+from repro.cluster.config import MachineConfig
+from repro.core.simulator import SimResult
+from repro.experiments.runner import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_WARMUP,
+    ExperimentTable,
+    harmonic_mean,
+    run_matrix,
+)
+from repro.workloads.suites import MEDIABENCH, SPECINT2000
+
+FIGURE9_SPECS = (
+    StrategySpec(kind="issue", steer_latency=0),
+    StrategySpec(kind="issue", steer_latency=4),
+    StrategySpec(kind="fdrt"),
+    StrategySpec(kind="friendly"),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class SuiteStudyResult:
+    """Per-suite result matrices."""
+
+    suites: Dict[str, Dict[Tuple[str, str], SimResult]]
+    suite_benchmarks: Dict[str, Tuple[str, ...]]
+    labels: Tuple[str, ...]
+
+    def mean_speedup(self, suite: str, label: str) -> float:
+        results = self.suites[suite]
+        return harmonic_mean([
+            results[(b, label)].speedup_over(results[(b, "Base")])
+            for b in self.suite_benchmarks[suite]
+        ])
+
+    def speedup(self, suite: str, benchmark: str, label: str) -> float:
+        results = self.suites[suite]
+        return results[(benchmark, label)].speedup_over(
+            results[(benchmark, "Base")]
+        )
+
+
+def run_suite_study(
+    spec_benchmarks: Sequence[str] = SPECINT2000,
+    media_benchmarks: Sequence[str] = MEDIABENCH,
+    config: Optional[MachineConfig] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    warmup: int = DEFAULT_WARMUP,
+) -> SuiteStudyResult:
+    """Run the Figure 9 matrix over both suites."""
+    all_specs = [StrategySpec(kind="base")] + list(FIGURE9_SPECS)
+    suites = {
+        "SPECint2000": run_matrix(spec_benchmarks, all_specs, config=config,
+                                  instructions=instructions, warmup=warmup),
+        "MediaBench": run_matrix(media_benchmarks, all_specs, config=config,
+                                 instructions=instructions, warmup=warmup),
+    }
+    return SuiteStudyResult(
+        suites=suites,
+        suite_benchmarks={
+            "SPECint2000": tuple(spec_benchmarks),
+            "MediaBench": tuple(media_benchmarks),
+        },
+        labels=tuple(s.label for s in all_specs),
+    )
+
+
+def render_figure9(result: SuiteStudyResult) -> str:
+    """Figure 9: harmonic-mean speedups per suite and strategy."""
+    labels = [l for l in result.labels if l != "Base"]
+    table = ExperimentTable(
+        "Figure 9. Dynamic Cluster Assignment Speedups (full suites)",
+        ["Suite"] + labels,
+    )
+    for suite in result.suites:
+        table.add_row(
+            suite,
+            *(f"{result.mean_speedup(suite, label):.3f}" for label in labels),
+        )
+    return table.render()

@@ -1,0 +1,17 @@
+"""Front-end prediction structures: direction predictors, BTB and RAS."""
+
+from repro.frontend.branch_predictor import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    GsharePredictor,
+    HybridPredictor,
+    ReturnAddressStack,
+)
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchTargetBuffer",
+    "GsharePredictor",
+    "HybridPredictor",
+    "ReturnAddressStack",
+]

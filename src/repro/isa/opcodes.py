@@ -1,0 +1,170 @@
+"""Opcodes, instruction classes and execution latencies.
+
+Latencies follow Table 7 of the paper:
+
+=====================  =====  ===========  ============
+Functional unit        count  exec. lat.   issue lat.
+=====================  =====  ===========  ============
+Simple integer         2      1 cycle      1 cycle
+Simple FP              1      2            1
+Memory (int)           1      1 (+cache)   1
+Int mul / div          1      3 / 20       1 / 19
+FP mul / div / sqrt    1      3 / 12 / 24  1 / 12 / 24
+Int branch             1      1            1
+FP branch              1      1            1
+FP memory              1      1 (+cache)   1
+=====================  =====  ===========  ============
+
+``exec latency`` is the time from dispatch to result availability inside the
+producing cluster; ``issue latency`` is the pipelining interval of the unit
+(a unit with issue latency *n* accepts a new instruction every *n* cycles).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Functional-unit class of an instruction.
+
+    Each class maps onto exactly one kind of special-purpose functional
+    unit in the cluster design of the paper (Figure 3).
+    """
+
+    SIMPLE_INT = 0
+    INT_MEM = 1
+    BRANCH = 2
+    COMPLEX_INT = 3
+    SIMPLE_FP = 4
+    COMPLEX_FP = 5
+    FP_MEM = 6
+
+
+class Opcode(enum.IntEnum):
+    """The opcodes of the synthetic ISA."""
+
+    # Simple integer.
+    ADD = 0
+    SUB = 1
+    AND = 2
+    OR = 3
+    XOR = 4
+    SHL = 5
+    SHR = 6
+    CMP = 7
+    MOV = 8
+    LUI = 9  # load-immediate; zero register inputs
+    # Integer memory.
+    LOAD = 10
+    STORE = 11
+    # Branches.
+    BEQ = 12
+    BNE = 13
+    JMP = 14
+    CALL = 15
+    RET = 16
+    # Complex integer.
+    MUL = 17
+    DIV = 18
+    # Simple FP.
+    FADD = 19
+    FSUB = 20
+    FCMP = 21
+    FMOV = 22
+    # Complex FP.
+    FMUL = 23
+    FDIV = 24
+    FSQRT = 25
+    # FP memory.
+    FLOAD = 26
+    FSTORE = 27
+
+
+_OP_CLASS = {
+    Opcode.ADD: OpClass.SIMPLE_INT,
+    Opcode.SUB: OpClass.SIMPLE_INT,
+    Opcode.AND: OpClass.SIMPLE_INT,
+    Opcode.OR: OpClass.SIMPLE_INT,
+    Opcode.XOR: OpClass.SIMPLE_INT,
+    Opcode.SHL: OpClass.SIMPLE_INT,
+    Opcode.SHR: OpClass.SIMPLE_INT,
+    Opcode.CMP: OpClass.SIMPLE_INT,
+    Opcode.MOV: OpClass.SIMPLE_INT,
+    Opcode.LUI: OpClass.SIMPLE_INT,
+    Opcode.LOAD: OpClass.INT_MEM,
+    Opcode.STORE: OpClass.INT_MEM,
+    Opcode.BEQ: OpClass.BRANCH,
+    Opcode.BNE: OpClass.BRANCH,
+    Opcode.JMP: OpClass.BRANCH,
+    Opcode.CALL: OpClass.BRANCH,
+    Opcode.RET: OpClass.BRANCH,
+    Opcode.MUL: OpClass.COMPLEX_INT,
+    Opcode.DIV: OpClass.COMPLEX_INT,
+    Opcode.FADD: OpClass.SIMPLE_FP,
+    Opcode.FSUB: OpClass.SIMPLE_FP,
+    Opcode.FCMP: OpClass.SIMPLE_FP,
+    Opcode.FMOV: OpClass.SIMPLE_FP,
+    Opcode.FMUL: OpClass.COMPLEX_FP,
+    Opcode.FDIV: OpClass.COMPLEX_FP,
+    Opcode.FSQRT: OpClass.COMPLEX_FP,
+    Opcode.FLOAD: OpClass.FP_MEM,
+    Opcode.FSTORE: OpClass.FP_MEM,
+}
+
+#: Execution latency in cycles, per opcode (memory opcodes: address
+#: generation only; the cache access is added by the memory subsystem).
+EXEC_LATENCY = {
+    Opcode.MUL: 3,
+    Opcode.DIV: 20,
+    Opcode.FADD: 2,
+    Opcode.FSUB: 2,
+    Opcode.FCMP: 2,
+    Opcode.FMOV: 2,
+    Opcode.FMUL: 3,
+    Opcode.FDIV: 12,
+    Opcode.FSQRT: 24,
+}
+for _op, _cls in _OP_CLASS.items():
+    EXEC_LATENCY.setdefault(_op, 1)
+
+#: Issue (pipelining) latency per opcode; the functional unit is busy for
+#: this many cycles after accepting the instruction.
+ISSUE_LATENCY = {
+    Opcode.DIV: 19,
+    Opcode.FDIV: 12,
+    Opcode.FSQRT: 24,
+}
+for _op in _OP_CLASS:
+    ISSUE_LATENCY.setdefault(_op, 1)
+
+#: Opcodes that access data memory.
+MEMORY_OPCODES = frozenset(
+    op for op, cls in _OP_CLASS.items() if cls in (OpClass.INT_MEM, OpClass.FP_MEM)
+)
+
+#: Opcodes that redirect control flow.
+BRANCH_OPCODES = frozenset(
+    op for op, cls in _OP_CLASS.items() if cls is OpClass.BRANCH
+)
+
+#: Store opcodes (subset of MEMORY_OPCODES).
+STORE_OPCODES = frozenset({Opcode.STORE, Opcode.FSTORE})
+
+#: Load opcodes (subset of MEMORY_OPCODES).
+LOAD_OPCODES = frozenset({Opcode.LOAD, Opcode.FLOAD})
+
+
+def op_class(opcode: Opcode) -> OpClass:
+    """Return the functional-unit class of ``opcode``."""
+    return _OP_CLASS[opcode]
+
+
+def is_store(opcode: Opcode) -> bool:
+    """True if ``opcode`` writes data memory."""
+    return opcode in STORE_OPCODES
+
+
+def is_load(opcode: Opcode) -> bool:
+    """True if ``opcode`` reads data memory."""
+    return opcode in LOAD_OPCODES

@@ -1,0 +1,21 @@
+"""Data memory subsystem: caches, TLB, load/store queues.
+
+These components are shared by all clusters (paper Figure 1): the store
+buffer, load queue, D-TLB and the D-cache hierarchy sit outside the
+clusters, and memory instructions reach them through each cluster's memory
+functional unit.
+"""
+
+from repro.memory.cache import Cache, MainMemory
+from repro.memory.tlb import TLB
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.lsq import LoadQueue, StoreBuffer
+
+__all__ = [
+    "Cache",
+    "LoadQueue",
+    "MainMemory",
+    "MemoryHierarchy",
+    "StoreBuffer",
+    "TLB",
+]

@@ -1,0 +1,100 @@
+"""The assembled data-memory hierarchy of the baseline machine.
+
+Wires together the D-TLB, L1 data cache, shared L2 and main memory with the
+paper's Table 7 parameters, and provides the single entry point the
+pipeline's memory units use: :meth:`MemoryHierarchy.data_access`.
+"""
+
+from __future__ import annotations
+
+from repro.memory.cache import Cache, MainMemory
+from repro.memory.lsq import LoadQueue, StoreBuffer
+from repro.memory.tlb import TLB
+
+
+class MemoryHierarchy:
+    """D-TLB + L1D + L2 + memory + store buffer + load queue."""
+
+    def __init__(
+        self,
+        perfect: bool = False,
+        l1_size: int = 32 * 1024,
+        l1_assoc: int = 4,
+        l1_latency: int = 2,
+        l2_size: int = 1024 * 1024,
+        l2_assoc: int = 4,
+        l2_latency: int = 8,
+        memory_latency: int = 65,
+        line_size: int = 64,
+        mshrs: int = 16,
+        dcache_ports: int = 4,
+        tlb_entries: int = 128,
+        tlb_assoc: int = 4,
+        tlb_miss_latency: int = 30,
+        store_buffer_entries: int = 32,
+        load_queue_entries: int = 32,
+    ) -> None:
+        self.memory = MainMemory(memory_latency)
+        self.l2 = Cache("L2", l2_size, l2_assoc, line_size, l2_latency,
+                        self.memory, mshrs=mshrs)
+        self.l1d = Cache("L1D", l1_size, l1_assoc, line_size, l1_latency,
+                         self.l2, mshrs=mshrs)
+        self.dtlb = TLB(tlb_entries, tlb_assoc, hit_latency=1,
+                        miss_latency=tlb_miss_latency)
+        self.store_buffer = StoreBuffer(store_buffer_entries)
+        self.load_queue = LoadQueue(load_queue_entries)
+        self.dcache_ports = dcache_ports
+        #: Oracle mode: every data access costs the L1 hit latency.
+        self.perfect = perfect
+        self._port_cycle = -1
+        self._ports_used = 0
+
+    def port_available(self, now: int) -> bool:
+        """True if a D-cache port is free in cycle ``now``."""
+        if now != self._port_cycle:
+            return True
+        return self._ports_used < self.dcache_ports
+
+    def _claim_port(self, now: int) -> None:
+        if now != self._port_cycle:
+            self._port_cycle = now
+            self._ports_used = 0
+        self._ports_used += 1
+
+    def data_access(self, seq: int, addr: int, is_store: bool, now: int) -> int:
+        """Perform a data access; return latency until the value is ready.
+
+        Models: TLB translation (miss serialised before the cache access),
+        store-buffer load forwarding, and the L1/L2/memory path.  The
+        caller has already checked :meth:`port_available`.
+        """
+        self._claim_port(now)
+        if self.perfect:
+            if is_store:
+                self.store_buffer.insert(seq, addr)
+                return 1
+            return self.l1d.hit_latency
+        latency = self.dtlb.access(addr)
+        tlb_extra = latency - self.dtlb.hit_latency  # page-walk cycles
+        if is_store:
+            # Stores complete once translated and buffered; the cache write
+            # happens in the background at/after retirement.
+            self.store_buffer.insert(seq, addr)
+            return max(1, tlb_extra + 1)
+        if self.store_buffer.forward_for_load(seq, addr):
+            return max(1, tlb_extra + 1)
+        cache_latency = self.l1d.access(addr, now + tlb_extra)
+        return tlb_extra + cache_latency
+
+    def retire_up_to(self, seq: int) -> None:
+        """Release LSQ entries for instructions retired up to ``seq``."""
+        self.store_buffer.release_up_to(seq)
+        self.load_queue.release_up_to(seq)
+
+    def reset_stats(self) -> None:
+        """Zero statistics on all levels (after warmup)."""
+        self.l1d.reset_stats()
+        self.l2.reset_stats()
+        self.dtlb.reset_stats()
+        self.memory.accesses = 0
+        self.store_buffer.forwards = 0

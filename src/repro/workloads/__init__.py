@@ -1,0 +1,69 @@
+"""Synthetic workloads standing in for the paper's Alpha SPEC/MediaBench runs.
+
+The paper drives its timing simulator with precompiled Alpha binaries
+executed by SimpleScalar's ``sim-fast``.  Neither the binaries nor an Alpha
+functional simulator is available here, so this package provides the closest
+synthetic equivalent: a **program generator** that emits executable
+control-flow graphs whose statistical structure (instruction mix, basic
+block sizes, branch behaviour, register dependency distances, memory
+locality, static code footprint) is tuned per benchmark, and a **functional
+simulator** that walks those graphs to produce the committed dynamic
+instruction stream the timing model consumes.
+
+Cluster-assignment quality depends only on that dynamic structure — which
+instructions depend on which, how far apart producers and consumers are,
+how predictable the branches are — so the substitution preserves the
+behaviour the paper's experiments measure.
+"""
+
+from repro.workloads.program import (
+    AddressStream,
+    BasicBlock,
+    BiasedBranch,
+    BranchBehavior,
+    LoopBranch,
+    PatternBranch,
+    Program,
+    RandomStream,
+    StrideStream,
+)
+from repro.workloads.profiles import WorkloadProfile, profile_for
+from repro.workloads.generator import generate_program
+from repro.workloads.execution import FunctionalSimulator
+from repro.workloads.suites import (
+    MEDIABENCH,
+    SPECINT2000,
+    SPECINT2000_SELECTED,
+)
+from repro.workloads.trace_io import (
+    TraceReader,
+    open_trace,
+    record_trace,
+    write_trace,
+)
+from repro.workloads.validation import StreamStatistics, measure_stream
+
+__all__ = [
+    "AddressStream",
+    "BasicBlock",
+    "BiasedBranch",
+    "BranchBehavior",
+    "FunctionalSimulator",
+    "LoopBranch",
+    "MEDIABENCH",
+    "PatternBranch",
+    "Program",
+    "RandomStream",
+    "SPECINT2000",
+    "SPECINT2000_SELECTED",
+    "StreamStatistics",
+    "StrideStream",
+    "TraceReader",
+    "WorkloadProfile",
+    "generate_program",
+    "measure_stream",
+    "open_trace",
+    "profile_for",
+    "record_trace",
+    "write_trace",
+]

@@ -1,0 +1,55 @@
+"""Benchmark suite definitions used by the experiments.
+
+``SPECINT2000_SELECTED`` is the six-benchmark subset the paper analyses in
+depth (Table 6); ``SPECINT2000`` is the full integer suite and
+``MEDIABENCH`` the fourteen media programs used for Figure 9.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: The six benchmarks chosen in the paper for their sensitivity to data
+#: forwarding latency (Table 6).
+SPECINT2000_SELECTED: Tuple[str, ...] = (
+    "bzip2",
+    "eon",
+    "gzip",
+    "perlbmk",
+    "twolf",
+    "vpr",
+)
+
+#: All twelve SPEC CPU2000 integer benchmarks (Figure 9, left group).
+SPECINT2000: Tuple[str, ...] = (
+    "bzip2",
+    "crafty",
+    "eon",
+    "gap",
+    "gcc",
+    "gzip",
+    "mcf",
+    "parser",
+    "perlbmk",
+    "twolf",
+    "vortex",
+    "vpr",
+)
+
+#: Fourteen MediaBench programs (Figure 9, right group).
+MEDIABENCH: Tuple[str, ...] = (
+    "adpcm_enc",
+    "adpcm_dec",
+    "epic_enc",
+    "epic_dec",
+    "g721_enc",
+    "g721_dec",
+    "gsm_enc",
+    "gsm_dec",
+    "jpeg_enc",
+    "jpeg_dec",
+    "mpeg2_enc",
+    "mpeg2_dec",
+    "pegwit_enc",
+    "pegwit_dec",
+)

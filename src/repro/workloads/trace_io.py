@@ -1,0 +1,169 @@
+"""Committed-stream trace files: record and replay dynamic streams.
+
+Real simulator workflows exchange *trace files* — recorded dynamic
+instruction streams — so experiments are reproducible without re-running
+the functional frontend (and so streams can be inspected or shared).
+This module provides a compact line-oriented text format:
+
+* header lines: ``#key value`` (program name, static size, version);
+* static records: ``S pc opcode dest srcs block_id mem_stream`` — emitted
+  once per static instruction, on first dynamic occurrence;
+* dynamic records: ``D pc taken target fall_target mem_addr`` — one per
+  committed instruction, referring to a previously defined static pc.
+
+:class:`TraceReader` implements the same ``step()`` protocol as
+:class:`~repro.workloads.execution.FunctionalSimulator`, so a recorded
+trace can drive :class:`~repro.core.pipeline.Pipeline` directly through
+a :class:`~repro.core.fetch.StreamCursor`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, TextIO
+
+from repro.isa import DynInst, Instruction, Opcode
+
+_FORMAT_VERSION = "1"
+
+
+def _encode_optional(value: Optional[int]) -> str:
+    return "-" if value is None else str(value)
+
+
+def _decode_optional(token: str) -> Optional[int]:
+    return None if token == "-" else int(token)
+
+
+def write_trace(handle: TextIO, instructions: Iterable[DynInst],
+                program_name: str = "") -> int:
+    """Write a committed stream to ``handle``; returns instruction count.
+
+    Static instructions are interned on first appearance, so the file
+    stays compact for loop-dominated streams.
+    """
+    handle.write(f"#version {_FORMAT_VERSION}\n")
+    if program_name:
+        handle.write(f"#program {program_name}\n")
+    seen: Dict[int, Instruction] = {}
+    count = 0
+    for dyn in instructions:
+        static = dyn.static
+        if static.pc not in seen:
+            seen[static.pc] = static
+            srcs = ",".join(str(s) for s in static.srcs) or "-"
+            handle.write(
+                "S {pc} {op} {dest} {srcs} {block} {stream}\n".format(
+                    pc=static.pc,
+                    op=static.opcode.name,
+                    dest=_encode_optional(static.dest),
+                    srcs=srcs,
+                    block=static.block_id,
+                    stream=_encode_optional(static.mem_stream_id),
+                )
+            )
+        handle.write(
+            "D {pc} {taken} {target} {fall} {addr}\n".format(
+                pc=static.pc,
+                taken=int(dyn.taken),
+                target=_encode_optional(dyn.target),
+                fall=_encode_optional(dyn.fall_target),
+                addr=_encode_optional(dyn.mem_addr),
+            )
+        )
+        count += 1
+    return count
+
+
+class TraceReader:
+    """Replays a trace file as a committed instruction stream.
+
+    Implements ``step() -> Optional[DynInst]`` (and iteration), the
+    protocol :class:`~repro.core.fetch.StreamCursor` consumes.
+    """
+
+    def __init__(self, handle: TextIO) -> None:
+        self._handle = handle
+        self._statics: Dict[int, Instruction] = {}
+        self._seq = 0
+        self.program_name = ""
+        self.version: Optional[str] = None
+
+    def step(self) -> Optional[DynInst]:
+        """Next committed instruction, or ``None`` at end of trace."""
+        for line in self._handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                self._header(line)
+                continue
+            kind, rest = line.split(" ", 1)
+            if kind == "S":
+                self._static(rest)
+                continue
+            if kind == "D":
+                return self._dynamic(rest)
+            raise ValueError(f"unknown trace record {line!r}")
+        return None
+
+    def __iter__(self):
+        while True:
+            inst = self.step()
+            if inst is None:
+                return
+            yield inst
+
+    def _header(self, line: str) -> None:
+        key, _, value = line[1:].partition(" ")
+        if key == "version":
+            if value != _FORMAT_VERSION:
+                raise ValueError(f"unsupported trace version {value!r}")
+            self.version = value
+        elif key == "program":
+            self.program_name = value
+
+    def _static(self, rest: str) -> None:
+        pc_s, op_s, dest_s, srcs_s, block_s, stream_s = rest.split(" ")
+        pc = int(pc_s)
+        srcs = () if srcs_s == "-" else tuple(
+            int(x) for x in srcs_s.split(","))
+        self._statics[pc] = Instruction(
+            pc,
+            Opcode[op_s],
+            dest=_decode_optional(dest_s),
+            srcs=srcs,
+            mem_stream_id=_decode_optional(stream_s),
+            block_id=int(block_s),
+        )
+
+    def _dynamic(self, rest: str) -> DynInst:
+        pc_s, taken_s, target_s, fall_s, addr_s = rest.split(" ")
+        static = self._statics.get(int(pc_s))
+        if static is None:
+            raise ValueError(f"dynamic record references unknown pc {pc_s}")
+        dyn = DynInst(static, self._seq)
+        self._seq += 1
+        dyn.taken = bool(int(taken_s))
+        dyn.target = _decode_optional(target_s)
+        dyn.fall_target = _decode_optional(fall_s)
+        dyn.mem_addr = _decode_optional(addr_s)
+        return dyn
+
+
+def record_trace(program, path: str, instructions: int,
+                 seed: Optional[int] = None) -> int:
+    """Functionally execute ``program`` and record the stream to ``path``."""
+    from repro.workloads.execution import FunctionalSimulator
+
+    simulator = FunctionalSimulator(program, seed=seed)
+    with open(path, "w") as handle:
+        return write_trace(
+            handle,
+            (inst for inst in simulator.run(instructions)),
+            program_name=program.name,
+        )
+
+
+def open_trace(path: str) -> TraceReader:
+    """Open a trace file for replay (caller owns the handle lifetime)."""
+    return TraceReader(open(path))

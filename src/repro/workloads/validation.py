@@ -1,0 +1,136 @@
+"""Workload validation: measure what the generator actually produced.
+
+The per-benchmark profiles (``profiles.py``) *intend* certain dynamic
+characteristics; this module measures the realised characteristics of a
+generated program's committed stream so the calibration can be checked
+mechanically (and so users defining custom profiles can see what they
+got).  Used by the test suite to keep the generator honest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from collections import Counter
+from typing import Dict, Optional
+
+from repro.isa import BranchKind
+from repro.workloads.execution import FunctionalSimulator
+from repro.workloads.program import Program
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamStatistics:
+    """Measured characteristics of a committed instruction stream."""
+
+    instructions: int
+    class_mix: Dict[str, float]
+    mean_block_size: float
+    cond_branch_fraction: float
+    taken_fraction: float
+    #: Entropy (bits) of conditional branch outcomes, averaged per static
+    #: branch and weighted by execution count.  0 = perfectly biased,
+    #: 1 = coin flips.
+    branch_entropy: float
+    #: Distribution of register dependency distances, bucketed.
+    dep_distance_buckets: Dict[str, float]
+    #: Fraction of register source reads with an in-flight producer at
+    #: all (vs. long-lived registers never rewritten in window).
+    near_dep_fraction: float
+    unique_pcs: int
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        mix = ", ".join(f"{k}={v:.0%}" for k, v in sorted(
+            self.class_mix.items(), key=lambda kv: -kv[1]))
+        buckets = ", ".join(f"{k}:{v:.0%}"
+                            for k, v in self.dep_distance_buckets.items())
+        return (
+            f"{self.instructions} instructions over {self.unique_pcs} static "
+            f"pcs; mix [{mix}]; mean block {self.mean_block_size:.1f}; "
+            f"{self.cond_branch_fraction:.1%} conditional branches "
+            f"(taken {self.taken_fraction:.1%}, entropy "
+            f"{self.branch_entropy:.2f} bits); dependency distances "
+            f"[{buckets}]"
+        )
+
+
+def _entropy(p: float) -> float:
+    if p <= 0.0 or p >= 1.0:
+        return 0.0
+    return -(p * math.log2(p) + (1 - p) * math.log2(1 - p))
+
+
+_DISTANCE_BUCKETS = (
+    ("1-4", 1, 4),
+    ("5-16", 5, 16),
+    ("17-64", 17, 64),
+    ("65+", 65, 1 << 60),
+)
+
+
+def measure_stream(program: Program, instructions: int = 20_000,
+                   seed: Optional[int] = None) -> StreamStatistics:
+    """Execute ``program`` functionally and measure its stream statistics."""
+    sim = FunctionalSimulator(program, seed=seed)
+    class_counts: Counter = Counter()
+    block_lengths = []
+    current_block_len = 0
+    cond = 0
+    taken = 0
+    per_branch: Dict[int, list] = {}
+    last_writer: Dict[int, int] = {}
+    distance_counts: Counter = Counter()
+    reads = 0
+    reads_with_producer = 0
+    pcs = set()
+
+    for index, inst in enumerate(sim.run(instructions)):
+        static = inst.static
+        pcs.add(static.pc)
+        class_counts[static.op_class] += 1
+        current_block_len += 1
+        if inst.target is not None:
+            block_lengths.append(current_block_len)
+            current_block_len = 0
+        if static.branch_kind == BranchKind.CONDITIONAL:
+            cond += 1
+            taken += inst.taken
+            record = per_branch.setdefault(static.pc, [0, 0])
+            record[0] += 1
+            record[1] += inst.taken
+        for reg in static.srcs:
+            reads += 1
+            writer = last_writer.get(reg)
+            if writer is not None:
+                reads_with_producer += 1
+                distance = index - writer
+                for name, lo, hi in _DISTANCE_BUCKETS:
+                    if lo <= distance <= hi:
+                        distance_counts[name] += 1
+                        break
+        if static.dest is not None:
+            last_writer[static.dest] = index
+
+    total = sum(class_counts.values()) or 1
+    mix = {cls.name: count / total for cls, count in class_counts.items()}
+    entropy = 0.0
+    if cond:
+        for count, taken_count in per_branch.values():
+            entropy += count * _entropy(taken_count / count)
+        entropy /= cond
+    produced = sum(distance_counts.values()) or 1
+    buckets = {name: distance_counts.get(name, 0) / produced
+               for name, _lo, _hi in _DISTANCE_BUCKETS}
+    return StreamStatistics(
+        instructions=total,
+        class_mix=mix,
+        mean_block_size=(sum(block_lengths) / len(block_lengths)
+                         if block_lengths else float(total)),
+        cond_branch_fraction=cond / total,
+        taken_fraction=(taken / cond) if cond else 0.0,
+        branch_entropy=entropy,
+        dep_distance_buckets=buckets,
+        near_dep_fraction=(reads_with_producer / reads) if reads else 0.0,
+        unique_pcs=len(pcs),
+    )

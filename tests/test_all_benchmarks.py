@@ -1,0 +1,30 @@
+"""Every benchmark in the catalog runs end-to-end on the pipeline.
+
+Cheap smoke coverage over the whole workload catalog: generation,
+functional execution, timing simulation, and basic statistic sanity for
+all 26 benchmarks.  Budgets are tiny; the benchmark harness exercises
+the interesting subset at production budgets.
+"""
+
+import pytest
+
+from repro import Simulator, StrategySpec
+from repro.workloads.suites import MEDIABENCH, SPECINT2000
+
+ALL = tuple(SPECINT2000) + tuple(MEDIABENCH)
+
+
+@pytest.mark.parametrize("bench_name", ALL)
+def test_benchmark_runs_end_to_end(bench_name):
+    simulator = Simulator(bench_name, StrategySpec(kind="fdrt"))
+    result = simulator.run(1200)
+    assert result.retired >= 1200
+    assert result.ipc > 0.05
+    assert result.cycles > 0
+    assert 0.0 <= result.pct_tc_instructions <= 1.0
+    # Clusters must all see work eventually on a 16-wide machine.
+    dispatched = [
+        sum(unit.dispatched for unit in cluster.units)
+        for cluster in simulator.pipeline.clusters
+    ]
+    assert all(d > 0 for d in dispatched), dispatched

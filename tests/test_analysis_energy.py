@@ -1,0 +1,66 @@
+"""Tests of the activity-based energy model."""
+
+import pytest
+
+from repro import Simulator, StrategySpec
+from repro.analysis.energy import EnergyModel, estimate_energy
+from repro.workloads.generator import generate_program
+from repro.workloads.profiles import profile_for
+
+
+@pytest.fixture(scope="module")
+def program():
+    return generate_program(profile_for("gzip"))
+
+
+def run_and_estimate(program, kind, instructions=6000):
+    simulator = Simulator(program, StrategySpec(kind=kind))
+    simulator.warmup(8000)
+    simulator.run(instructions)
+    return estimate_energy(simulator.pipeline)
+
+
+class TestEnergyReport:
+    def test_components_positive(self, program):
+        report = run_and_estimate(program, "base")
+        assert report.total > 0
+        for name in ("execution", "interconnect", "memory", "frontend"):
+            assert report.components[name] > 0, name
+
+    def test_energy_per_instruction(self, program):
+        report = run_and_estimate(program, "base")
+        assert 1.0 < report.energy_per_instruction < 200.0
+
+    def test_render(self, program):
+        report = run_and_estimate(program, "base")
+        text = report.render()
+        assert "interconnect" in text and "units/instr" in text
+
+    def test_custom_model_scales(self, program):
+        simulator = Simulator(program, StrategySpec(kind="base"))
+        simulator.run(4000)
+        cheap = estimate_energy(simulator.pipeline, EnergyModel(hop=0.0))
+        expensive = estimate_energy(simulator.pipeline, EnergyModel(hop=10.0))
+        assert expensive.interconnect > cheap.interconnect
+        assert cheap.interconnect == 0.0
+
+
+class TestStrategyEffect:
+    def test_fdrt_reduces_interconnect_energy(self, program):
+        """FDRT's shorter forwarding distances mean fewer hop events —
+        the energy argument for smart cluster assignment."""
+        base = run_and_estimate(program, "base")
+        fdrt = run_and_estimate(program, "fdrt")
+        base_hops = base.interconnect / base.retired
+        fdrt_hops = fdrt.interconnect / fdrt.retired
+        assert fdrt_hops < base_hops
+
+    def test_hop_counters_populated(self, program):
+        simulator = Simulator(program, StrategySpec(kind="base"))
+        simulator.run(4000)
+        stats = simulator.pipeline.stats
+        assert stats.forwarded_operands > 0
+        assert stats.forwarded_hops > 0
+        # Mean hops per operand must be within topology bounds.
+        mean = stats.forwarded_hops / stats.forwarded_operands
+        assert 0.0 < mean < 3.0

@@ -1,0 +1,62 @@
+"""Unit tests for the per-trace cluster capacity/port budget tracker."""
+
+from repro.assign.base import ClusterCapacity
+from repro.isa import OpClass
+
+
+def test_slots_bound_everything():
+    capacity = ClusterCapacity(num_clusters=4, slots_per_cluster=4)
+    for _ in range(4):
+        assert capacity.can_place(0, OpClass.SIMPLE_INT)
+        capacity.place(0, OpClass.SIMPLE_INT)
+    assert not capacity.can_place(0, OpClass.SIMPLE_INT)
+    assert not capacity.can_place(0, OpClass.SIMPLE_INT, strict=False)
+    assert capacity.can_place(1, OpClass.SIMPLE_INT)
+
+
+def test_memory_port_budget_is_two():
+    capacity = ClusterCapacity(4, 4)
+    capacity.place(0, OpClass.INT_MEM)
+    capacity.place(0, OpClass.FP_MEM)  # shares the mem station
+    assert not capacity.can_place(0, OpClass.INT_MEM)
+    assert capacity.can_place(0, OpClass.INT_MEM, strict=False)
+    assert capacity.can_place(0, OpClass.SIMPLE_INT)  # other class fine
+
+
+def test_complex_classes_share_budget():
+    capacity = ClusterCapacity(4, 4)
+    capacity.place(0, OpClass.COMPLEX_INT)
+    capacity.place(0, OpClass.COMPLEX_FP)
+    assert not capacity.can_place(0, OpClass.COMPLEX_INT)
+
+
+def test_simple_budget_is_four():
+    capacity = ClusterCapacity(4, 8)
+    for _ in range(4):
+        capacity.place(0, OpClass.SIMPLE_INT)
+    assert not capacity.can_place(0, OpClass.SIMPLE_FP)
+    assert capacity.can_place(0, OpClass.BRANCH)
+
+
+def test_non_strict_overflow_still_consumes_slots():
+    capacity = ClusterCapacity(4, 4)
+    for _ in range(3):
+        capacity.place(0, OpClass.INT_MEM)  # third exceeds the port budget
+    assert capacity.free_slots[0] == 1
+
+
+def test_reorder_respects_port_budgets(context):
+    """A 16-instruction all-load trace cannot put >2 loads per cluster
+    while strict placement is possible."""
+    from repro.assign.friendly import FriendlyRetireTime
+    from tests.conftest import make_dyn
+    from repro.isa import Opcode
+
+    strategy = FriendlyRetireTime(context)
+    insts = [make_dyn(i, Opcode.LOAD, dest=8, srcs=(1,)) for i in range(8)]
+    slots = strategy.reorder(insts)
+    per_cluster = [0, 0, 0, 0]
+    for p, logical in enumerate(slots):
+        if logical is not None:
+            per_cluster[p // 4] += 1
+    assert all(c <= 2 for c in per_cluster)

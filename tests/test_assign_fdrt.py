@@ -1,0 +1,163 @@
+"""Unit tests for FDRT placement (the paper's Table 5 semantics)."""
+
+import pytest
+
+from repro.assign.fdrt import FDRTStrategy
+from repro.isa.instruction import LeaderFollower
+from tests.conftest import link, make_dyn
+
+
+def crit(consumer, producer):
+    """Mark ``producer`` as the consumer's critical forwarded input."""
+    link(consumer, producer)
+    consumer.critical_forwarded = True
+    consumer.critical_producer = producer
+    consumer.critical_src = 0
+    return consumer
+
+
+def chain_member(inst, cluster, role=LeaderFollower.FOLLOWER):
+    inst.leader_follower = role
+    inst.chain_cluster = cluster
+    return inst
+
+
+def clusters_of(slots, per=4):
+    return {
+        logical: slot // per
+        for slot, logical in enumerate(slots)
+        if logical is not None
+    }
+
+
+class TestOptionA:
+    def test_consumer_joins_producer_cluster(self, context):
+        strategy = FDRTStrategy(context)
+        producer = make_dyn(0)
+        fillers = [make_dyn(i) for i in range(1, 8)]
+        consumer = crit(make_dyn(8), producer)
+        slots = strategy.reorder([producer] + fillers + [consumer])
+        placement = clusters_of(slots)
+        assert placement[8] == placement[0]
+        assert strategy.option_counts["A"] == 1
+
+    def test_overflow_goes_to_neighbor(self, context):
+        strategy = FDRTStrategy(context)
+        producer = make_dyn(0)
+        consumers = [crit(make_dyn(i), producer) for i in range(1, 6)]
+        slots = strategy.reorder([producer] + consumers)
+        placement = clusters_of(slots)
+        producer_cluster = placement[0]
+        overflow = [placement[i] for i in range(1, 6)
+                    if placement[i] != producer_cluster]
+        assert overflow  # at least one spilled
+        neighbors = context.interconnect.neighbors(producer_cluster)
+        assert all(c in neighbors for c in overflow)
+
+
+class TestOptionB:
+    def test_chain_member_lands_on_chain_cluster(self, context):
+        strategy = FDRTStrategy(context)
+        member = chain_member(make_dyn(0), cluster=2)
+        rest = [make_dyn(i) for i in range(1, 5)]
+        slots = strategy.reorder([member] + rest)
+        assert clusters_of(slots)[0] == 2
+        assert strategy.option_counts["B"] == 1
+
+    def test_full_chain_cluster_spills_to_neighbor(self, context):
+        strategy = FDRTStrategy(context)
+        members = [chain_member(make_dyn(i), cluster=3) for i in range(6)]
+        slots = strategy.reorder(members)
+        placement = clusters_of(slots)
+        on_chain = [i for i, c in placement.items() if c == 3]
+        spilled = [c for i, c in placement.items() if c != 3]
+        assert len(on_chain) == 4
+        assert all(c == 2 for c in spilled)  # cluster 3's only neighbor
+
+
+class TestOptionC:
+    def test_chain_takes_precedence_over_producer(self, context):
+        strategy = FDRTStrategy(context)
+        producer = make_dyn(0)  # will land in cluster 0
+        consumer = crit(make_dyn(1), producer)
+        chain_member(consumer, cluster=3)
+        slots = strategy.reorder([producer, consumer])
+        placement = clusters_of(slots)
+        assert placement[1] == 3
+        assert strategy.option_counts["C"] == 1
+
+    def test_falls_back_to_producer_when_chain_full(self, context):
+        strategy = FDRTStrategy(context)
+        blockers = [chain_member(make_dyn(i), cluster=3) for i in range(4)]
+        producer = make_dyn(4)
+        consumer = chain_member(crit(make_dyn(5), producer), cluster=3)
+        slots = strategy.reorder(blockers + [producer, consumer])
+        placement = clusters_of(slots)
+        assert placement[5] == placement[4]  # producer's cluster
+
+
+class TestOptionD:
+    def test_producer_without_inputs_funnels_to_middle(self, context):
+        strategy = FDRTStrategy(context)
+        producer = make_dyn(0)
+        consumer = link(make_dyn(1), producer)  # not critical-forwarded
+        slots = strategy.reorder([producer, consumer])
+        placement = clusters_of(slots)
+        assert placement[0] in context.config.middle_clusters
+        assert strategy.option_counts["D"] >= 1
+
+
+class TestOptionE:
+    def test_independent_instructions_skipped_then_filled(self, context):
+        strategy = FDRTStrategy(context)
+        insts = [make_dyn(i) for i in range(6)]
+        slots = strategy.reorder(insts)
+        assert sorted(x for x in slots if x is not None) == list(range(6))
+        assert strategy.option_counts["E"] == 6
+
+    def test_option_counts_reset(self, context):
+        strategy = FDRTStrategy(context)
+        strategy.reorder([make_dyn(0)])
+        strategy.reset_stats()
+        assert all(v == 0 for v in strategy.option_counts.values())
+
+
+class TestIntraOnlyAblation:
+    def test_chain_fields_ignored(self, context):
+        strategy = FDRTStrategy(context, intra_only=True)
+        member = chain_member(make_dyn(0), cluster=3)
+        consumer = link(make_dyn(1), member)
+        slots = strategy.reorder([member, consumer])
+        placement = clusters_of(slots)
+        # Treated as Option D (has consumer, no chain): middle cluster.
+        assert placement[0] in context.config.middle_clusters
+        assert strategy.option_counts["B"] == 0
+        assert strategy.option_counts["C"] == 0
+
+
+class TestInvariants:
+    def test_every_instruction_placed_exactly_once(self, context):
+        strategy = FDRTStrategy(context)
+        producer = make_dyn(0)
+        insts = [producer] + [
+            crit(make_dyn(i), producer) if i % 3 == 0 else make_dyn(i)
+            for i in range(1, 16)
+        ]
+        slots = strategy.reorder(insts)
+        placed = [x for x in slots if x is not None]
+        assert sorted(placed) == list(range(16))
+
+    def test_cluster_capacity_never_exceeded(self, context):
+        strategy = FDRTStrategy(context)
+        members = [chain_member(make_dyn(i), cluster=1) for i in range(16)]
+        slots = strategy.reorder(members)
+        placement = clusters_of(slots)
+        for cluster in range(4):
+            count = sum(1 for c in placement.values() if c == cluster)
+            assert count <= context.slots_per_cluster
+
+    def test_stale_chain_cluster_out_of_range_ignored(self, context):
+        strategy = FDRTStrategy(context)
+        bad = chain_member(make_dyn(0), cluster=9)  # e.g. from wider machine
+        slots = strategy.reorder([bad])
+        assert strategy.option_counts["E"] == 1

@@ -1,0 +1,86 @@
+"""Unit tests for Friendly et al.'s retire-time reordering."""
+
+from repro.assign.friendly import FriendlyRetireTime
+from tests.conftest import link, make_dyn
+
+
+def clusters_of(slots, per=4):
+    """Map logical index -> cluster from a physical layout."""
+    return {
+        logical: slot // per
+        for slot, logical in enumerate(slots)
+        if logical is not None
+    }
+
+
+def test_all_instructions_placed(context):
+    strategy = FriendlyRetireTime(context)
+    insts = [make_dyn(i) for i in range(16)]
+    slots = strategy.reorder(insts)
+    assert sorted(x for x in slots if x is not None) == list(range(16))
+
+
+def test_consumer_follows_producer_cluster(context):
+    strategy = FriendlyRetireTime(context)
+    producer = make_dyn(0)
+    fillers = [make_dyn(i) for i in range(1, 8)]
+    consumer = link(make_dyn(8), producer)
+    insts = [producer] + fillers + [consumer]
+    slots = strategy.reorder(insts)
+    placement = clusters_of(slots)
+    # Producer lands in cluster 0 (slot 0); the consumer is pulled into
+    # the same cluster even though its logical position maps elsewhere.
+    assert placement[0] == 0
+    assert placement[8] == 0
+
+
+def test_dependence_chain_clusters_together(context):
+    strategy = FriendlyRetireTime(context)
+    a = make_dyn(0)
+    b = link(make_dyn(1), a)
+    c = link(make_dyn(2), b)
+    rest = [make_dyn(i) for i in range(3, 12)]
+    slots = strategy.reorder([a, b, c] + rest)
+    placement = clusters_of(slots)
+    assert placement[0] == placement[1] == placement[2] == 0
+
+
+def test_no_dependencies_keeps_logical_order(context):
+    strategy = FriendlyRetireTime(context)
+    insts = [make_dyn(i) for i in range(16)]
+    slots = strategy.reorder(insts)
+    assert slots == list(range(16))
+
+
+def test_short_trace_leaves_trailing_slots_empty(context):
+    strategy = FriendlyRetireTime(context)
+    slots = strategy.reorder([make_dyn(i) for i in range(6)])
+    assert sum(1 for s in slots if s is not None) == 6
+
+
+def test_middle_bias_fills_middle_clusters_first(context):
+    strategy = FriendlyRetireTime(context, middle_bias=True)
+    insts = [make_dyn(i) for i in range(8)]  # no dependencies
+    slots = strategy.reorder(insts)
+    placement = clusters_of(slots)
+    # All eight dependency-free instructions land in clusters 1 and 2.
+    assert set(placement.values()) == {1, 2}
+
+
+def test_middle_bias_still_places_everything(context):
+    strategy = FriendlyRetireTime(context, middle_bias=True)
+    insts = [make_dyn(i) for i in range(16)]
+    slots = strategy.reorder(insts)
+    assert sorted(x for x in slots if x is not None) == list(range(16))
+
+
+def test_producer_cluster_capacity_respected(context):
+    """Five consumers of one producer cannot all fit in its cluster."""
+    strategy = FriendlyRetireTime(context)
+    producer = make_dyn(0)
+    consumers = [link(make_dyn(i), producer) for i in range(1, 7)]
+    insts = [producer] + consumers
+    slots = strategy.reorder(insts)
+    placement = clusters_of(slots)
+    in_cluster0 = sum(1 for c in placement.values() if c == 0)
+    assert in_cluster0 == 4  # producer + 3 consumers fill cluster 0

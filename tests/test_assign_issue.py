@@ -1,0 +1,78 @@
+"""Unit tests for issue-time dependency/balance steering."""
+
+from repro.assign.issue_time import IssueTimeSteering
+from tests.conftest import link, make_dyn
+
+
+def test_no_producers_balances_on_load(context):
+    steering = IssueTimeSteering(context)
+    insts = [make_dyn(i) for i in range(4)]
+    choices = steering.steer(insts, cluster_load=[5, 0, 3, 0])
+    # First goes to an empty cluster; incremental load keeps balancing.
+    assert choices[0] in (1, 3)
+    assert None not in choices
+
+
+def test_consumer_steered_to_producer_cluster(context):
+    steering = IssueTimeSteering(context)
+    producer = make_dyn(0)
+    producer.cluster = 2  # in flight on cluster 2
+    consumer = link(make_dyn(1), producer)
+    choices = steering.steer([consumer], cluster_load=[0, 0, 0, 0])
+    assert choices == [2]
+
+
+def test_completed_producer_still_attracts_when_only_one(context):
+    steering = IssueTimeSteering(context)
+    producer = make_dyn(0)
+    producer.cluster = 1
+    producer.complete_cycle = 5
+    consumer = link(make_dyn(1), producer)
+    choices = steering.steer([consumer], cluster_load=[0, 0, 0, 0])
+    assert choices == [1]
+
+
+def test_in_flight_producer_preferred_over_completed(context):
+    steering = IssueTimeSteering(context)
+    done = make_dyn(0)
+    done.cluster = 0
+    done.complete_cycle = 5
+    pending = make_dyn(1)
+    pending.cluster = 3
+    consumer = link(make_dyn(2), done, pending)
+    choices = steering.steer([consumer], cluster_load=[0, 0, 0, 0])
+    assert choices == [3]
+
+
+def test_per_cluster_cap_enforced(context):
+    steering = IssueTimeSteering(context)
+    producer = make_dyn(0)
+    producer.cluster = 0
+    consumers = [link(make_dyn(i), producer) for i in range(1, 7)]
+    choices = steering.steer(consumers, cluster_load=[0, 0, 0, 0])
+    assert choices.count(0) == 4  # cap = slots_per_cluster
+    # Overflow lands on the nearest cluster with room.
+    assert all(c == 1 for c in choices if c != 0)
+
+
+def test_sixteen_wide_cycle_fills_all_clusters(context):
+    steering = IssueTimeSteering(context)
+    insts = [make_dyn(i) for i in range(16)]
+    choices = steering.steer(insts, cluster_load=[0, 0, 0, 0])
+    assert None not in choices
+    for cluster in range(4):
+        assert choices.count(cluster) == 4
+
+
+def test_seventeenth_instruction_cannot_issue(context):
+    steering = IssueTimeSteering(context)
+    insts = [make_dyn(i) for i in range(17)]
+    choices = steering.steer(insts, cluster_load=[0, 0, 0, 0])
+    assert choices[16] is None
+
+
+def test_input_load_not_mutated(context):
+    steering = IssueTimeSteering(context)
+    load = [1, 2, 3, 4]
+    steering.steer([make_dyn(0)], cluster_load=load)
+    assert load == [1, 2, 3, 4]

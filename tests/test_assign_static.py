@@ -1,0 +1,74 @@
+"""Unit tests for profile-guided static cluster assignment."""
+
+import pytest
+
+from repro.assign.base import StrategySpec
+from repro.assign.static_pc import StaticAssignment, train_static_assignment
+from repro.core.simulator import Simulator, simulate
+from tests.conftest import make_dyn
+
+
+class TestStaticStrategy:
+    def test_mapping_respected(self, context):
+        insts = [make_dyn(i) for i in range(4)]
+        mapping = {inst.static.pc: 3 for inst in insts}
+        strategy = StaticAssignment(context, mapping)
+        slots = strategy.reorder(insts)
+        for p, logical in enumerate(slots):
+            if logical is not None:
+                assert p // 4 == 3
+
+    def test_unmapped_pcs_fill_leftover_slots(self, context):
+        insts = [make_dyn(i) for i in range(6)]
+        strategy = StaticAssignment(context, {})
+        slots = strategy.reorder(insts)
+        assert sorted(x for x in slots if x is not None) == list(range(6))
+
+    def test_overflow_spills_to_nearest(self, context):
+        insts = [make_dyn(i) for i in range(6)]
+        mapping = {inst.static.pc: 0 for inst in insts}
+        strategy = StaticAssignment(context, mapping)
+        slots = strategy.reorder(insts)
+        placement = {l: p // 4 for p, l in enumerate(slots) if l is not None}
+        assert sum(1 for c in placement.values() if c == 0) == 4
+        assert all(c in (0, 1) for c in placement.values())
+
+    def test_bad_cluster_rejected(self, context):
+        with pytest.raises(ValueError):
+            StaticAssignment(context, {0x1000: 9})
+
+    def test_spec_requires_mapping(self):
+        with pytest.raises(ValueError):
+            StrategySpec(kind="static")
+
+    def test_spec_label(self):
+        assert StrategySpec(kind="static", static_mapping={}).label == "Static"
+
+
+class TestTraining:
+    def test_training_produces_full_coverage(self, tiny_program):
+        mapping = train_static_assignment(
+            tiny_program, train_instructions=3000, warmup=1000)
+        assert mapping
+        executed_pcs = set()
+        from repro.workloads.execution import FunctionalSimulator
+        for inst in FunctionalSimulator(tiny_program).run(3000):
+            executed_pcs.add(inst.static.pc)
+        assert executed_pcs <= set(mapping)
+
+    def test_training_balances_load(self, tiny_program):
+        mapping = train_static_assignment(
+            tiny_program, train_instructions=3000, warmup=1000)
+        counts = [0, 0, 0, 0]
+        for cluster in mapping.values():
+            counts[cluster] += 1
+        assert all(c > 0 for c in counts)
+
+    def test_static_simulation_end_to_end(self, tiny_program):
+        mapping = train_static_assignment(
+            tiny_program, train_instructions=2500, warmup=1000)
+        spec = StrategySpec(kind="static", static_mapping=mapping)
+        result = simulate(tiny_program, spec, instructions=1500, warmup=500)
+        assert result.strategy == "Static"
+        assert result.retired >= 1500
+        assert result.ipc > 0.05

@@ -1,0 +1,138 @@
+"""Focused tests of the FDRT chain feedback mechanism (paper Table 4)."""
+
+import pytest
+
+from repro.assign.base import StrategySpec
+from repro.cluster.config import MachineConfig
+from repro.core.pipeline import Pipeline
+from repro.isa.instruction import LeaderFollower
+from tests.conftest import make_dyn
+
+
+@pytest.fixture
+def pipeline(tiny_program):
+    return Pipeline(tiny_program, MachineConfig(), StrategySpec(kind="fdrt"))
+
+
+def consumer_of(producer, seq=100, from_tc=True, inter_trace=True):
+    inst = make_dyn(seq)
+    inst.cluster = 0
+    inst.from_trace_cache = from_tc
+    inst.trace_instance = producer.trace_instance + (1 if inter_trace else 0)
+    inst.critical_forwarded = True
+    inst.critical_producer = producer
+    inst.critical_inter_trace = inter_trace
+    inst.critical_src = 0
+    return inst
+
+
+def producer_inst(seq=1, cluster=0, from_tc=True):
+    inst = make_dyn(seq)
+    inst.cluster = cluster
+    inst.from_trace_cache = from_tc
+    inst.trace_instance = 5
+    return inst
+
+
+class TestLeaderMarking:
+    def test_inter_trace_critical_creates_leader(self, pipeline):
+        producer = producer_inst(cluster=0)
+        consumer = consumer_of(producer)
+        pipeline._chain_feedback(consumer)
+        assert producer.leader_follower is LeaderFollower.LEADER
+        # Leaders pin toward the nearest middle cluster.
+        assert producer.chain_cluster in pipeline.config.middle_clusters
+
+    def test_leader_pins_nearest_middle(self, pipeline):
+        left = producer_inst(seq=1, cluster=0)
+        right = producer_inst(seq=2, cluster=3)
+        pipeline._chain_feedback(consumer_of(left, seq=10))
+        pipeline._chain_feedback(consumer_of(right, seq=11))
+        assert left.chain_cluster == 1
+        assert right.chain_cluster == 2
+
+    def test_icache_fetched_producer_not_marked(self, pipeline):
+        """Profile fields live in the trace cache; an I-cache-fetched
+        instance has nowhere to store a mark."""
+        producer = producer_inst(from_tc=False)
+        pipeline._chain_feedback(consumer_of(producer))
+        assert producer.leader_follower is LeaderFollower.NONE
+
+    def test_intra_trace_dependency_creates_no_chain(self, pipeline):
+        producer = producer_inst()
+        consumer = consumer_of(producer, inter_trace=False)
+        pipeline._chain_feedback(consumer)
+        assert producer.leader_follower is LeaderFollower.NONE
+
+    def test_non_critical_input_creates_no_chain(self, pipeline):
+        producer = producer_inst()
+        consumer = consumer_of(producer)
+        consumer.critical_forwarded = False
+        pipeline._chain_feedback(consumer)
+        assert producer.leader_follower is LeaderFollower.NONE
+
+
+class TestFollowerMarking:
+    def test_consumer_becomes_follower_of_leader(self, pipeline):
+        producer = producer_inst()
+        consumer = consumer_of(producer)
+        pipeline._chain_feedback(consumer)
+        assert consumer.leader_follower is LeaderFollower.FOLLOWER
+        assert consumer.chain_cluster == producer.chain_cluster
+
+    def test_follower_chains_propagate(self, pipeline):
+        """A follower's own inter-trace consumer joins the same chain."""
+        producer = producer_inst()
+        first = consumer_of(producer, seq=10)
+        pipeline._chain_feedback(first)
+        second = consumer_of(first, seq=20)
+        pipeline._chain_feedback(second)
+        assert second.leader_follower is LeaderFollower.FOLLOWER
+        assert second.chain_cluster == producer.chain_cluster
+
+    def test_icache_fetched_consumer_not_marked(self, pipeline):
+        producer = producer_inst()
+        consumer = consumer_of(producer, from_tc=False)
+        pipeline._chain_feedback(consumer)
+        assert producer.leader_follower is LeaderFollower.LEADER
+        assert consumer.leader_follower is LeaderFollower.NONE
+
+
+class TestPinning:
+    def test_pinned_members_never_change(self, pipeline):
+        producer = producer_inst()
+        consumer = consumer_of(producer)
+        pipeline._chain_feedback(consumer)
+        original = consumer.chain_cluster
+        # A different chain tries to claim the consumer.
+        other = producer_inst(seq=50, cluster=3)
+        other.leader_follower = LeaderFollower.LEADER
+        other.chain_cluster = 3
+        consumer.critical_producer = other
+        pipeline._chain_feedback(consumer)
+        assert consumer.chain_cluster == original
+
+    def test_unpinned_members_rechain(self, tiny_program):
+        pipeline = Pipeline(tiny_program, MachineConfig(),
+                            StrategySpec(kind="fdrt", pinning=False))
+        producer = producer_inst()
+        consumer = consumer_of(producer)
+        pipeline._chain_feedback(consumer)
+        other = producer_inst(seq=50, cluster=3)
+        other.leader_follower = LeaderFollower.LEADER
+        other.chain_cluster = 3
+        other.trace_instance = 7
+        consumer.critical_producer = other
+        pipeline._chain_feedback(consumer)
+        assert consumer.chain_cluster == 3
+
+    def test_unpinned_leader_drifts_with_execution(self, tiny_program):
+        pipeline = Pipeline(tiny_program, MachineConfig(),
+                            StrategySpec(kind="fdrt", pinning=False))
+        producer = producer_inst(cluster=0)
+        pipeline._chain_feedback(consumer_of(producer, seq=10))
+        first_pin = producer.chain_cluster
+        producer.cluster = 3  # next dynamic instance ran elsewhere
+        pipeline._chain_feedback(consumer_of(producer, seq=20))
+        assert producer.chain_cluster == 3
+        assert producer.chain_cluster != first_pin

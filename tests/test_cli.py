@@ -1,0 +1,117 @@
+"""Tests of the command-line interface (invoked in-process)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestList:
+    def test_lists_all_benchmarks(self, capsys):
+        code, out = run_cli(capsys, "list")
+        assert code == 0
+        for name in ("gzip", "gcc", "adpcm_enc", "pegwit_dec"):
+            assert name in out
+
+
+class TestSimulate:
+    def test_basic(self, capsys):
+        code, out = run_cli(capsys, "simulate", "gzip",
+                            "--instructions", "1200", "--warmup", "600")
+        assert code == 0
+        assert "IPC" in out
+        assert "FDRT" in out
+
+    def test_strategy_selection(self, capsys):
+        code, out = run_cli(capsys, "simulate", "gzip", "--strategy", "base",
+                            "--instructions", "1000", "--warmup", "400")
+        assert code == 0
+        assert "Base" in out
+
+    def test_machine_variant(self, capsys):
+        code, out = run_cli(capsys, "simulate", "gzip", "--machine", "mesh",
+                            "--instructions", "1000", "--warmup", "400")
+        assert code == 0
+
+    def test_csv_output(self, capsys):
+        code, out = run_cli(capsys, "simulate", "gzip", "--csv",
+                            "--instructions", "1000", "--warmup", "400")
+        assert code == 0
+        assert out.startswith("benchmark,strategy,")
+
+    def test_unknown_benchmark_exits_nonzero(self, capsys):
+        code = main(["simulate", "nosuch",
+                     "--instructions", "100", "--warmup", "0"])
+        assert code == 2
+
+
+class TestCompare:
+    def test_bar_chart_output(self, capsys):
+        code, out = run_cli(capsys, "compare", "gzip",
+                            "--instructions", "800", "--warmup", "400")
+        assert code == 0
+        assert "speedup over base" in out
+        assert "FDRT" in out and "#" in out
+
+
+class TestUtilization:
+    def test_report(self, capsys):
+        code, out = run_cli(capsys, "utilization", "gzip",
+                            "--instructions", "1000", "--warmup", "0")
+        assert code == 0
+        assert "cluster 0" in out
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        code, out = run_cli(capsys, "experiment", "table1",
+                            "--instructions", "800", "--warmup", "800")
+        assert code == 0
+        assert "Table 1" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table99"])
+
+
+class TestEnergy:
+    def test_report(self, capsys):
+        code, out = run_cli(capsys, "energy", "gzip",
+                            "--instructions", "1000", "--warmup", "400")
+        assert code == 0
+        assert "interconnect" in out and "units/instr" in out
+
+
+class TestSweep:
+    def test_hop_sweep(self, capsys):
+        code, out = run_cli(capsys, "sweep", "hops",
+                            "--instructions", "500", "--warmup", "500")
+        assert code == 0
+        assert "hop_latency" in out
+
+    def test_tc_sweep(self, capsys):
+        code, out = run_cli(capsys, "sweep", "tc",
+                            "--instructions", "500", "--warmup", "500")
+        assert code == 0
+        assert "tc_entries" in out
+
+
+class TestConfigFile:
+    def test_simulate_with_config_file(self, capsys, tmp_path):
+        from repro import MachineConfig
+        path = str(tmp_path / "machine.json")
+        MachineConfig(width=8, num_clusters=2).to_json(path)
+        code, out = run_cli(capsys, "simulate", "gzip",
+                            "--config-file", path,
+                            "--instructions", "800", "--warmup", "400")
+        assert code == 0
+        assert "IPC" in out

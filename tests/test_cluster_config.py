@@ -1,0 +1,99 @@
+"""Unit tests for machine configuration."""
+
+import pytest
+
+from repro.cluster.config import (
+    MachineConfig,
+    baseline_config,
+    fast_forward_config,
+    mesh_config,
+    two_cluster_config,
+)
+
+
+def test_baseline_matches_table7():
+    config = baseline_config()
+    assert config.width == 16
+    assert config.num_clusters == 4
+    assert config.slots_per_cluster == 4
+    assert config.rob_entries == 128
+    assert config.rs_entries == 8
+    assert config.rs_write_ports == 2
+    assert config.hop_latency == 2
+    assert config.rf_latency == 2
+    assert config.tc_entries == 1024
+    assert config.tc_assoc == 2
+    assert config.tc_latency == 3
+    assert config.icache_size == 4 * 1024
+    assert config.l1d_size == 32 * 1024
+    assert config.l2_size == 1024 * 1024
+    assert config.memory_latency == 65
+    assert config.tlb_entries == 128
+    assert config.store_buffer_entries == 32
+    assert config.load_queue_entries == 32
+    assert config.predictor_entries == 16384
+    assert config.btb_entries == 512
+    assert config.fetch_stages == 3
+
+
+def test_width_cluster_divisibility():
+    with pytest.raises(ValueError):
+        MachineConfig(width=10, num_clusters=4)
+
+
+def test_forward_mode_validated():
+    with pytest.raises(ValueError):
+        MachineConfig(forward_latency_mode="bogus")
+
+
+def test_interconnect_validated():
+    with pytest.raises(ValueError):
+        MachineConfig(interconnect="torus")
+
+
+def test_middle_clusters_chain():
+    assert MachineConfig(num_clusters=4).middle_clusters == (1, 2)
+    assert MachineConfig(width=8, num_clusters=2).middle_clusters == (0, 1)
+
+
+def test_middle_clusters_ring_all_equivalent():
+    config = MachineConfig(interconnect="ring")
+    assert config.middle_clusters == (0, 1, 2, 3)
+
+
+def test_variant_copies():
+    base = baseline_config()
+    var = base.variant(hop_latency=1)
+    assert var.hop_latency == 1
+    assert base.hop_latency == 2
+
+
+def test_figure8_configs():
+    assert mesh_config().interconnect == "ring"
+    assert fast_forward_config().hop_latency == 1
+    two = two_cluster_config()
+    assert (two.width, two.num_clusters) == (8, 2)
+    assert two.slots_per_cluster == 4
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        config = MachineConfig(width=8, num_clusters=2, hop_latency=3)
+        clone = MachineConfig.from_dict(config.to_dict())
+        assert clone == config
+
+    def test_unknown_keys_rejected(self):
+        import pytest
+        with pytest.raises(ValueError):
+            MachineConfig.from_dict({"width": 16, "bogus": 1})
+
+    def test_json_roundtrip(self, tmp_path):
+        path = str(tmp_path / "machine.json")
+        config = MachineConfig(interconnect="ring", tc_entries=256)
+        config.to_json(path)
+        assert MachineConfig.from_json(path) == config
+
+    def test_invalid_values_still_validated(self):
+        import pytest
+        with pytest.raises(ValueError):
+            MachineConfig.from_dict({"width": 10, "num_clusters": 4})

@@ -1,0 +1,78 @@
+"""Unit tests for the inter-cluster forwarding network."""
+
+from repro.cluster.config import MachineConfig
+from repro.cluster.interconnect import Interconnect
+
+
+def chain(n=4, hop=2):
+    return Interconnect(MachineConfig(width=4 * n, num_clusters=n,
+                                      hop_latency=hop))
+
+
+def ring(n=4, hop=2):
+    return Interconnect(MachineConfig(width=4 * n, num_clusters=n,
+                                      hop_latency=hop, interconnect="ring"))
+
+
+class TestChain:
+    def test_distances(self):
+        net = chain()
+        assert net.distance(0, 0) == 0
+        assert net.distance(0, 1) == 1
+        assert net.distance(0, 3) == 3
+        assert net.distance(3, 0) == 3
+
+    def test_latency_two_cycles_per_hop(self):
+        net = chain(hop=2)
+        assert net.forward_latency(1, 1) == 0
+        assert net.forward_latency(1, 2) == 2
+        assert net.forward_latency(0, 3) == 6
+
+    def test_end_clusters_not_adjacent(self):
+        """Paper: 'The end clusters (1 and 4) do not communicate directly.'"""
+        net = chain()
+        assert net.distance(0, 3) == 3
+        assert 3 not in net.neighbors(0)
+
+    def test_neighbors(self):
+        net = chain()
+        assert net.neighbors(0) == (1,)
+        assert net.neighbors(1) == (0, 2)
+        assert net.neighbors(3) == (2,)
+
+    def test_ordered_by_distance(self):
+        net = chain()
+        assert net.ordered_by_distance(0) == (0, 1, 2, 3)
+        assert net.ordered_by_distance(2) == (2, 1, 3, 0)
+
+
+class TestRing:
+    def test_ends_adjacent(self):
+        """The Figure 8 'mesh' closes the chain: clusters 1 and 4 talk."""
+        net = ring()
+        assert net.distance(0, 3) == 1
+        assert 3 in net.neighbors(0)
+
+    def test_no_three_hop_paths(self):
+        net = ring()
+        worst = max(net.distance(a, b) for a in range(4) for b in range(4))
+        assert worst == 2
+
+    def test_symmetry(self):
+        net = ring()
+        for a in range(4):
+            for b in range(4):
+                assert net.distance(a, b) == net.distance(b, a)
+
+
+class TestOneCycleVariant:
+    def test_hop_latency_one(self):
+        net = chain(hop=1)
+        assert net.forward_latency(0, 3) == 3
+
+
+class TestTwoClusters:
+    def test_two_cluster_machine(self):
+        net = chain(n=2)
+        assert net.distance(0, 1) == 1
+        assert net.neighbors(0) == (1,)

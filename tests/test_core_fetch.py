@@ -1,0 +1,134 @@
+"""Unit tests for the fetch engine (trace cache path, I-cache path,
+misprediction blocking)."""
+
+from repro.cluster.config import MachineConfig
+from repro.core.fetch import FetchEngine, StreamCursor
+from repro.core.stats import SimStats
+from repro.memory.cache import MainMemory
+from repro.tracecache.trace_cache import TraceCache
+from repro.workloads.execution import FunctionalSimulator
+
+
+def make_engine(program, config=None):
+    config = config or MachineConfig()
+    cursor = StreamCursor(FunctionalSimulator(program))
+    cache = TraceCache(config.tc_entries, config.tc_assoc)
+    stats = SimStats()
+    engine = FetchEngine(config, cursor, cache, MainMemory(10), stats)
+    return engine, cache, cursor, stats
+
+
+class TestStreamCursor:
+    def test_peek_and_advance(self, tiny_program):
+        cursor = StreamCursor(FunctionalSimulator(tiny_program))
+        first = cursor.peek(0)
+        third = cursor.peek(2)
+        assert first.seq == 0 and third.seq == 2
+        cursor.advance(2)
+        assert cursor.peek(0).seq == 2
+        assert not cursor.exhausted
+
+    def test_exhaustion(self):
+        class Empty:
+            def step(self):
+                return None
+
+        cursor = StreamCursor(Empty())
+        assert cursor.peek(0) is None
+        assert cursor.exhausted
+
+
+class TestIcachePath:
+    def test_cold_fetch_comes_from_icache(self, tiny_program):
+        engine, cache, cursor, stats = make_engine(tiny_program)
+        packet, extra = engine.fetch(now=0)
+        assert packet
+        assert all(not inst.from_trace_cache for inst in packet)
+        assert extra > 0  # cold I-cache miss adds latency
+
+    def test_packet_limited_to_one_block(self, tiny_program):
+        engine, cache, cursor, stats = make_engine(tiny_program)
+        packet, _ = engine.fetch(now=0)
+        blocks = {inst.static.block_id for inst in packet}
+        assert len(blocks) == 1
+
+    def test_icache_miss_blocks_fetch(self, tiny_program):
+        engine, cache, cursor, stats = make_engine(tiny_program)
+        _, extra = engine.fetch(now=0)
+        assert engine.blocked(1)
+        assert not engine.blocked(extra + 1)
+
+    def test_slot_clusters_assigned_sequentially(self, tiny_program):
+        engine, cache, cursor, stats = make_engine(tiny_program)
+        packet, _ = engine.fetch(now=0)
+        per = 4
+        for k, inst in enumerate(packet):
+            assert inst.slot_cluster == (k // per) % 4
+
+
+class TestMispredictBlocking:
+    def test_blocked_until_branch_resolves(self, tiny_program):
+        engine, cache, cursor, stats = make_engine(tiny_program)
+        config = engine.config
+        # Fetch until a misprediction happens.
+        now = 0
+        mispredicted = None
+        for _ in range(500):
+            while engine.blocked(now):
+                now += 1
+                # Resolve any blocking branch immediately.
+                branch = engine._blocked_branch
+                if branch is not None and branch.complete_cycle < 0:
+                    branch.complete_cycle = now
+            packet, extra = engine.fetch(now)
+            now += 1
+            hits = [i for i in packet if i.mispredicted]
+            if hits:
+                mispredicted = hits[0]
+                break
+        assert mispredicted is not None
+        assert engine.blocked(now)
+        mispredicted.complete_cycle = now + 5
+        assert engine.blocked(now + 5)
+        assert not engine.blocked(now + 5 + config.redirect_penalty)
+
+
+class TestTraceCachePath:
+    def _run_until_tc_hit(self, engine, cache, stats, fill_traces):
+        """Drive fetch, building traces via the supplied callback."""
+        now = 0
+        for _ in range(3000):
+            branch = engine._blocked_branch
+            if branch is not None and branch.complete_cycle < 0:
+                branch.complete_cycle = now
+            if not engine.blocked(now):
+                packet, _ = engine.fetch(now)
+                if packet and packet[0].from_trace_cache:
+                    return packet
+                fill_traces(packet, now)
+            now += 1
+        return None
+
+    def test_trace_hit_after_fill(self, tiny_program):
+        from repro.assign.base import AssignmentContext, RetireTimeStrategy
+        from repro.cluster.interconnect import Interconnect
+        from repro.tracecache.fill_unit import FillUnit
+
+        config = MachineConfig(fill_unit_latency=0)
+        engine, cache, cursor, stats = make_engine(tiny_program, config)
+        context = AssignmentContext(config, Interconnect(config))
+        fill = FillUnit(config, cache, RetireTimeStrategy(context))
+
+        def fill_traces(packet, now):
+            for inst in packet:
+                fill.retire(inst, now)
+            fill.tick(now + 1)
+
+        packet = self._run_until_tc_hit(engine, cache, stats, fill_traces)
+        assert packet is not None
+        assert all(inst.from_trace_cache for inst in packet)
+        assert all(inst.trace_key == packet[0].trace_key for inst in packet)
+        assert stats.tc_fetches >= 1
+        # Logical order within the packet is program order.
+        seqs = [inst.seq for inst in packet]
+        assert seqs == sorted(seqs)

@@ -1,0 +1,150 @@
+"""Unit tests for statistics collection."""
+
+from repro.cluster.config import MachineConfig
+from repro.cluster.interconnect import Interconnect
+from repro.core.stats import SimStats
+from tests.conftest import make_dyn
+
+
+def make_critical(seq, producer, distance=0, inter_trace=False, src=0,
+                  cluster=0):
+    inst = make_dyn(seq)
+    inst.cluster = cluster
+    inst.critical_src = src
+    inst.critical_forwarded = True
+    inst.critical_producer = producer
+    inst.critical_distance = distance
+    inst.critical_inter_trace = inter_trace
+    return inst
+
+
+def test_ipc():
+    stats = SimStats()
+    stats.cycles = 100
+    stats.retired = 250
+    assert stats.ipc == 2.5
+
+
+def test_tc_fraction_and_trace_size():
+    stats = SimStats()
+    stats.retired = 10
+    stats.retired_from_tc = 8
+    stats.tc_fetches = 2
+    stats.tc_fetch_instructions = 28
+    assert stats.pct_tc_instructions == 0.8
+    assert stats.avg_trace_size == 14.0
+
+
+def test_forwarded_input_repetition():
+    stats = SimStats()
+    p1, p2 = make_dyn(1, pc=0x10), make_dyn(2, pc=0x20)
+    consumer_pc = 0x100
+    stats.record_forwarded_input(consumer_pc, 0, p1.static.pc)
+    stats.record_forwarded_input(consumer_pc, 0, p1.static.pc)  # repeat
+    stats.record_forwarded_input(consumer_pc, 0, p2.static.pc)  # change
+    rates = stats.producer_repetition()
+    assert rates["all_rs1"] == 0.5  # 1 repeat of 2 checks
+    assert stats.forwarded_inputs == 3
+
+
+def test_critical_source_breakdown():
+    interconnect = Interconnect(MachineConfig())
+    stats = SimStats()
+    producer = make_dyn(0)
+    producer.cluster = 0
+    rf_inst = make_dyn(1)
+    rf_inst.cluster = 0
+    rf_inst.critical_src = 0
+    rf_inst.critical_forwarded = False
+    stats.record_critical(rf_inst, interconnect)
+    stats.record_critical(make_critical(2, producer, src=0), interconnect)
+    stats.record_critical(make_critical(3, producer, src=1), interconnect)
+    breakdown = stats.critical_source_breakdown()
+    assert abs(breakdown["RF"] - 1 / 3) < 1e-9
+    assert abs(breakdown["RS1"] - 1 / 3) < 1e-9
+    assert abs(breakdown["RS2"] - 1 / 3) < 1e-9
+
+
+def test_distance_and_intra_cluster_share():
+    interconnect = Interconnect(MachineConfig())
+    stats = SimStats()
+    producer = make_dyn(0)
+    producer.cluster = 0
+    stats.record_critical(make_critical(1, producer, distance=0), interconnect)
+    stats.record_critical(make_critical(2, producer, distance=2), interconnect)
+    assert stats.pct_intra_cluster_forwarding == 0.5
+    assert stats.avg_forward_distance == 1.0
+
+
+def test_inter_trace_share_and_repetition():
+    interconnect = Interconnect(MachineConfig())
+    stats = SimStats()
+    producer = make_dyn(0, pc=0x50)
+    producer.cluster = 0
+    producer.trace_instance = 1
+    # Two dynamic instances of the same static consumer, same producer.
+    static_consumer = make_dyn(10, pc=0x200).static
+    from repro.isa import DynInst
+    for seq in (11, 12):
+        inst = DynInst(static_consumer, seq)
+        inst.cluster = 1
+        inst.critical_src = 0
+        inst.critical_forwarded = True
+        inst.critical_producer = producer
+        inst.critical_distance = 1
+        inst.critical_inter_trace = True
+        stats.record_critical(inst, interconnect)
+    assert stats.pct_critical_inter_trace == 1.0
+    rates = stats.producer_repetition()
+    assert rates["inter_rs1"] == 1.0  # same producer pc both times
+
+
+def test_exec_migration_tracking():
+    interconnect = Interconnect(MachineConfig())
+    stats = SimStats()
+    producer = make_dyn(0)
+    producer.cluster = 0
+    static = make_dyn(1, pc=0x300).static
+    from repro.isa import DynInst
+
+    def instance(seq, cluster, distance):
+        inst = DynInst(static, seq)
+        inst.cluster = cluster
+        inst.critical_src = 0
+        inst.critical_forwarded = True
+        inst.critical_producer = producer
+        inst.critical_distance = distance
+        return inst
+
+    stats.record_critical(instance(1, cluster=0, distance=0), interconnect)
+    stats.record_critical(instance(2, cluster=1, distance=1), interconnect)  # migrated
+    stats.record_critical(instance(3, cluster=1, distance=0), interconnect)
+    assert stats.exec_migrations == 1
+    assert stats.migrating_critical_forwarded == 1
+    assert stats.pct_migrating_intra_cluster == 0.0
+
+
+def test_empty_stats_are_zero_not_nan():
+    stats = SimStats()
+    assert stats.ipc == 0.0
+    assert stats.pct_tc_instructions == 0.0
+    assert stats.avg_trace_size == 0.0
+    assert stats.pct_deps_critical == 0.0
+    assert stats.pct_critical_inter_trace == 0.0
+    assert stats.pct_intra_cluster_forwarding == 0.0
+    assert stats.avg_forward_distance == 0.0
+    assert stats.mispredict_rate == 0.0
+    assert stats.pct_migrating_intra_cluster == 0.0
+    breakdown = stats.critical_source_breakdown()
+    assert breakdown == {"RF": 0.0, "RS1": 0.0, "RS2": 0.0}
+
+
+def test_reset_clears_everything():
+    stats = SimStats()
+    stats.cycles = 5
+    stats.retired = 5
+    stats.record_forwarded_input(0x10, 0, 0x20)
+    stats.reset()
+    assert stats.cycles == 0
+    assert stats.forwarded_inputs == 0
+    assert stats.producer_repetition()["all_rs1"] == 0.0

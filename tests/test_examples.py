@@ -1,0 +1,41 @@
+"""Sanity checks of the example scripts (import + structure, not runtime).
+
+Each example is importable without side effects (work happens under the
+``__main__`` guard), exposes a ``main`` function, and carries a usage
+docstring.  Full runs are exercised manually / in the benchmark pass;
+they are too slow for the unit suite.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(EXAMPLES) >= 3  # deliverable: at least three examples
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_cleanly(path):
+    module = _load(path)
+    assert callable(getattr(module, "main", None)), path.stem
+    assert module.__doc__, path.stem
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_has_usage_line(path):
+    text = path.read_text()
+    assert "python examples/" in text, path.stem

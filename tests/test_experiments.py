@@ -1,0 +1,115 @@
+"""Tests of the experiment harness (tiny budgets: structure, not shape)."""
+
+import pytest
+
+import repro.experiments as ex
+from repro.assign.base import StrategySpec
+
+TINY = dict(instructions=1500, warmup=1500)
+BENCHES = ("gzip", "bzip2")
+
+
+@pytest.fixture(scope="module")
+def characterization():
+    return ex.run_characterization(BENCHES, **TINY)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return ex.run_strategy_comparison(
+        BENCHES, specs=[StrategySpec(kind="fdrt"), StrategySpec(kind="friendly")],
+        **TINY,
+    )
+
+
+class TestRunner:
+    def test_harmonic_mean(self):
+        assert ex.harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+        assert ex.harmonic_mean([1.0, 2.0]) == pytest.approx(4 / 3)
+        with pytest.raises(ValueError):
+            ex.harmonic_mean([1.0, -1.0])
+        assert ex.harmonic_mean([]) == 0.0
+
+    def test_run_matrix_keys(self):
+        results = ex.run_matrix(
+            ["gzip"], [StrategySpec(kind="base")], **TINY)
+        assert set(results) == {("gzip", "Base")}
+
+    def test_experiment_table_renders(self):
+        table = ex.ExperimentTable("T", ["a", "b"])
+        table.add_row("x", 1)
+        out = table.render()
+        assert "T" in out and "x" in out and "1" in out
+
+    def test_experiment_table_rejects_bad_row(self):
+        table = ex.ExperimentTable("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+
+class TestCharacterization:
+    def test_results_per_benchmark(self, characterization):
+        assert set(characterization.results) == set(BENCHES)
+
+    def test_renderers_include_all_benchmarks(self, characterization):
+        for render in (ex.render_table1, ex.render_table2,
+                       ex.render_table3, ex.render_figure4):
+            out = render(characterization)
+            for bench in BENCHES:
+                assert bench in out
+            assert "%" in out
+
+
+class TestLatencyStudy:
+    def test_structure(self):
+        result = ex.run_latency_study(("gzip",), **TINY)
+        assert set(result.speedups) == {"gzip"}
+        labels = set(result.speedups["gzip"])
+        assert "No Fwd Lat" in labels and "No RF Lat" in labels
+        out = ex.render_figure5(result)
+        assert "No Crit Fwd Lat" in out
+
+
+class TestStrategyComparison:
+    def test_speedups_computable(self, comparison):
+        for bench in BENCHES:
+            assert comparison.speedup(bench, "FDRT") > 0
+        assert comparison.mean_speedup("FDRT") > 0
+
+    def test_renderers(self, comparison):
+        fig6 = ex.render_figure6(comparison)
+        assert "FDRT" in fig6 and "HM" in fig6
+        table8 = ex.render_table8(comparison)
+        assert "Table 8a" in table8 and "Table 8b" in table8
+
+
+class TestFDRTAnalysis:
+    def test_structure(self):
+        result = ex.run_fdrt_analysis(("gzip",), **TINY)
+        assert set(result.pinned) == {"gzip"}
+        assert set(result.unpinned) == {"gzip"}
+        for render in (ex.render_figure7, ex.render_table9, ex.render_table10):
+            assert "gzip" in render(result)
+
+
+class TestRobustness:
+    def test_structure(self):
+        result = ex.run_robustness(("gzip",), **TINY)
+        assert set(result.variants) == {
+            "Mesh Network", "One-Cycle Fwd", "8-wide 2-cluster"}
+        out = ex.render_figure8(result)
+        assert "Mesh Network" in out
+
+    def test_two_cluster_variant_uses_two_clusters(self):
+        from repro.experiments.robustness import variant_configs
+        config, steer = variant_configs()["8-wide 2-cluster"]
+        assert config.num_clusters == 2
+        assert steer == 2
+
+
+class TestSuiteStudy:
+    def test_structure(self):
+        result = ex.run_suite_study(("gzip",), ("adpcm_enc",), **TINY)
+        assert set(result.suites) == {"SPECint2000", "MediaBench"}
+        out = ex.render_figure9(result)
+        assert "MediaBench" in out

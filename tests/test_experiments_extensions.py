@@ -1,0 +1,76 @@
+"""Tests of the extension experiments: sweeps, reference tables,
+chain confidence."""
+
+import pytest
+
+import repro.experiments as ex
+from repro.assign.base import StrategySpec
+from repro.cluster.config import MachineConfig
+from repro.core.simulator import simulate
+
+TINY = dict(instructions=900, warmup=900)
+
+
+class TestReferenceTables:
+    def test_table6_lists_benchmarks(self):
+        out = ex.render_table6()
+        for name in ("bzip2", "eon", "gzip", "perlbmk", "twolf", "vpr"):
+            assert name in out
+
+    def test_table7_reflects_config(self):
+        out = ex.render_table7()
+        assert "16-wide" in out
+        assert "1024-entry" in out      # trace cache
+        assert "16k-entry" in out       # predictor
+        assert "no speculative disambiguation" in out
+
+    def test_table7_tracks_variants(self):
+        out = ex.render_table7(MachineConfig(width=8, num_clusters=2,
+                                             hop_latency=1))
+        assert "8-wide" in out
+        assert "2 x 4-wide" in out
+        assert "1 cyc/hop" in out
+
+
+class TestSweeps:
+    def test_tc_capacity_sweep_structure(self):
+        result = ex.run_tc_capacity_sweep(
+            benchmarks=("gzip",), sizes=(64, 1024), **TINY)
+        assert set(result.points) == {64, 1024}
+        assert result.mean_speedup(1024, "FDRT") > 0
+        out = ex.render_sweep(result)
+        assert "tc_entries" in out and "1024" in out
+
+    def test_hop_latency_sweep_structure(self):
+        result = ex.run_hop_latency_sweep(
+            benchmarks=("gzip",), latencies=(1, 3), **TINY)
+        assert set(result.points) == {1, 3}
+        out = ex.render_sweep(result)
+        assert "hop_latency" in out and "Friendly" in out
+
+
+class TestChainConfidence:
+    def test_label(self):
+        assert StrategySpec(kind="fdrt", chain_confidence=3).label == \
+            "FDRT/conf3"
+        assert StrategySpec(kind="fdrt").label == "FDRT"
+
+    def test_higher_confidence_fewer_chains(self):
+        loose = simulate("gzip", StrategySpec(kind="fdrt"),
+                         instructions=3000, warmup=9000)
+        strict = simulate("gzip", StrategySpec(kind="fdrt",
+                                               chain_confidence=4),
+                          instructions=3000, warmup=9000)
+
+        def chain_share(result):
+            counts = result.option_counts
+            total = sum(counts.values()) or 1
+            return (counts["B"] + counts["C"]) / total
+
+        assert chain_share(strict) < chain_share(loose)
+
+    def test_confidence_still_forms_chains_eventually(self):
+        result = simulate("gzip", StrategySpec(kind="fdrt",
+                                               chain_confidence=2),
+                          instructions=3000, warmup=9000)
+        assert result.option_counts["B"] + result.option_counts["C"] > 0

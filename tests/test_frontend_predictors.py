@@ -1,0 +1,170 @@
+"""Unit tests for direction predictors, BTB and RAS."""
+
+from repro.frontend import (
+    BimodalPredictor,
+    BranchTargetBuffer,
+    GsharePredictor,
+    HybridPredictor,
+    ReturnAddressStack,
+)
+
+
+class TestBimodal:
+    def test_learns_always_taken(self):
+        predictor = BimodalPredictor(1024)
+        pc = 0x400
+        for _ in range(3):
+            predictor.update(pc, True)
+        assert predictor.predict(pc) is True
+
+    def test_learns_never_taken(self):
+        predictor = BimodalPredictor(1024)
+        pc = 0x400
+        for _ in range(3):
+            predictor.update(pc, False)
+        assert predictor.predict(pc) is False
+
+    def test_hysteresis(self):
+        predictor = BimodalPredictor(1024)
+        pc = 0x400
+        for _ in range(4):
+            predictor.update(pc, True)
+        predictor.update(pc, False)  # one anomaly
+        assert predictor.predict(pc) is True  # 2-bit counter survives it
+
+    def test_power_of_two_required(self):
+        import pytest
+        with pytest.raises(ValueError):
+            BimodalPredictor(1000)
+
+
+class TestGshare:
+    def test_learns_alternating_pattern(self):
+        predictor = GsharePredictor(4096)
+        pc = 0x800
+        pattern = [True, False] * 200
+        correct = 0
+        for outcome in pattern:
+            if predictor.predict(pc) == outcome:
+                correct += 1
+            predictor.update(pc, outcome)
+            predictor.push_history(outcome)
+        # After warmup the alternating pattern is fully predictable.
+        assert correct / len(pattern) > 0.9
+
+    def test_history_shifts(self):
+        predictor = GsharePredictor(1024)
+        predictor.push_history(True)
+        predictor.push_history(False)
+        assert predictor.history == 0b10
+
+    def test_history_bounded(self):
+        predictor = GsharePredictor(256)
+        for _ in range(100):
+            predictor.push_history(True)
+        assert predictor.history < 256
+
+
+class TestHybrid:
+    def test_beats_components_on_mixed_workload(self):
+        """The selector should route biased branches to bimodal and
+        patterned branches to gshare."""
+        hybrid = HybridPredictor(4096)
+        pcs_pattern = [0x100, 0x200]
+        pcs_biased = [0x300, 0x400]
+        import random
+        rng = random.Random(1)
+        correct = total = 0
+        for i in range(2000):
+            for pc in pcs_pattern:
+                outcome = (i % 3) != 0
+                prediction = hybrid.predict_and_update(pc, outcome)
+                correct += prediction == outcome
+                total += 1
+            for pc in pcs_biased:
+                outcome = rng.random() < 0.95
+                prediction = hybrid.predict_and_update(pc, outcome)
+                correct += prediction == outcome
+                total += 1
+        assert correct / total > 0.85
+
+    def test_accuracy_property(self):
+        hybrid = HybridPredictor(1024)
+        assert hybrid.accuracy == 1.0
+        for _ in range(10):
+            hybrid.predict_and_update(0x40, True)
+        assert 0.0 <= hybrid.accuracy <= 1.0
+        assert hybrid.lookups == 10
+
+    def test_perfectly_biased_branch_near_perfect(self):
+        hybrid = HybridPredictor(1024)
+        mispredicts = sum(
+            hybrid.predict_and_update(0x80, True) is not True
+            for _ in range(100)
+        )
+        assert mispredicts <= 2  # only cold-start errors
+
+
+class TestBTB:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(64, 4)
+        assert btb.lookup(0x1000) is None
+        btb.update(0x1000, 0x2000)
+        assert btb.lookup(0x1000) == 0x2000
+
+    def test_update_replaces_target(self):
+        btb = BranchTargetBuffer(64, 4)
+        btb.update(0x1000, 0x2000)
+        btb.update(0x1000, 0x3000)
+        assert btb.lookup(0x1000) == 0x3000
+
+    def test_lru_eviction_within_set(self):
+        btb = BranchTargetBuffer(8, 2)  # 4 sets, 2 ways
+        sets = btb.sets
+        # Three pcs mapping to the same set: the LRU one is evicted.
+        pcs = [4 * (sets * k) for k in range(3)]
+        btb.update(pcs[0], 1)
+        btb.update(pcs[1], 2)
+        btb.update(pcs[2], 3)
+        assert btb.lookup(pcs[0]) is None
+        assert btb.lookup(pcs[1]) == 2
+        assert btb.lookup(pcs[2]) == 3
+
+    def test_lookup_refreshes_lru(self):
+        btb = BranchTargetBuffer(8, 2)
+        sets = btb.sets
+        pcs = [4 * (sets * k) for k in range(3)]
+        btb.update(pcs[0], 1)
+        btb.update(pcs[1], 2)
+        btb.lookup(pcs[0])          # refresh pc0
+        btb.update(pcs[2], 3)       # evicts pc1 now
+        assert btb.lookup(pcs[0]) == 1
+        assert btb.lookup(pcs[1]) is None
+
+    def test_stats(self):
+        btb = BranchTargetBuffer(64, 4)
+        btb.lookup(0)
+        btb.update(0, 4)
+        btb.lookup(0)
+        assert btb.lookups == 2
+        assert btb.misses == 1
+
+
+class TestRAS:
+    def test_lifo_order(self):
+        ras = ReturnAddressStack(8)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+        assert ras.pop() is None
+
+    def test_depth_bounded_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert len(ras) == 2
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None

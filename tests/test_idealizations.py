@@ -1,0 +1,77 @@
+"""Tests of the limit-study knobs: oracle front end and oracle memory."""
+
+import pytest
+
+from repro import MachineConfig, Simulator, StrategySpec, simulate
+from repro.workloads.generator import generate_program
+from repro.workloads.profiles import profile_for
+
+
+@pytest.fixture(scope="module")
+def program():
+    return generate_program(profile_for("twolf"))  # mispredict-heavy
+
+
+def run(program, **overrides):
+    config = MachineConfig(**overrides)
+    simulator = Simulator(program, StrategySpec(kind="base"), config=config)
+    simulator.warmup(8000)
+    return simulator.run(6000), simulator
+
+
+class TestPerfectBranchPrediction:
+    def test_no_mispredicts(self, program):
+        result, simulator = run(program, perfect_branch_prediction=True)
+        assert result.mispredict_rate == 0.0
+        assert simulator.pipeline.stats.mispredicts == 0
+
+    def test_never_slower_than_real_predictor(self, program):
+        real, _ = run(program)
+        oracle, _ = run(program, perfect_branch_prediction=True)
+        assert oracle.ipc >= real.ipc
+
+    def test_architectural_stream_unchanged(self, program):
+        from repro.core.pipeline import Pipeline
+
+        streams = {}
+        for perfect in (False, True):
+            config = MachineConfig(perfect_branch_prediction=perfect)
+            pipeline = Pipeline(program, config, StrategySpec(kind="base"))
+            seqs = []
+            original = pipeline.fill_unit.retire
+            pipeline.fill_unit.retire = (
+                lambda inst, now, seqs=seqs, orig=original:
+                (seqs.append(inst.seq), orig(inst, now))
+            )
+            pipeline.run(2000)
+            streams[perfect] = seqs[:1900]
+        assert streams[False] == streams[True]
+
+    def test_trace_cache_still_supplies(self, program):
+        result, _ = run(program, perfect_branch_prediction=True)
+        assert result.pct_tc_instructions > 0.5
+
+
+class TestPerfectDcache:
+    def test_loads_always_fast(self, program):
+        _, simulator = run(program, perfect_dcache=True)
+        memory = simulator.pipeline.memory
+        assert memory.l1d.accesses == 0  # hierarchy untouched
+        assert memory.dtlb.hits + memory.dtlb.misses == 0
+
+    def test_never_slower_than_real_memory(self, program):
+        real, _ = run(program)
+        oracle, _ = run(program, perfect_dcache=True)
+        assert oracle.ipc >= real.ipc
+
+    def test_store_forwarding_still_works(self, program):
+        _, simulator = run(program, perfect_dcache=True)
+        assert len(simulator.pipeline.memory.store_buffer) >= 0  # no crash
+
+
+class TestCombinedOracles:
+    def test_combined_is_fastest(self, program):
+        real, _ = run(program)
+        both, _ = run(program, perfect_branch_prediction=True,
+                      perfect_dcache=True)
+        assert both.ipc > real.ipc

@@ -1,0 +1,127 @@
+"""End-to-end integration tests across subsystems."""
+
+import pytest
+
+from repro import (
+    MEDIABENCH,
+    SPECINT2000,
+    SPECINT2000_SELECTED,
+    MachineConfig,
+    Simulator,
+    StrategySpec,
+    simulate,
+)
+from repro.workloads.generator import generate_program
+from repro.workloads.profiles import profile_for
+
+
+class TestSuites:
+    def test_selected_is_subset_of_full(self):
+        assert set(SPECINT2000_SELECTED) <= set(SPECINT2000)
+
+    def test_suite_sizes_match_paper(self):
+        assert len(SPECINT2000_SELECTED) == 6
+        assert len(SPECINT2000) == 12
+        assert len(MEDIABENCH) == 14
+
+    def test_every_suite_member_has_a_profile(self):
+        for name in (*SPECINT2000, *MEDIABENCH):
+            assert profile_for(name).name == name
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("bench", ["gzip", "adpcm_enc"])
+    def test_all_strategies_complete(self, bench):
+        for kind in ("base", "issue", "friendly", "fdrt"):
+            result = simulate(bench, StrategySpec(kind=kind),
+                              instructions=1500, warmup=1000)
+            assert result.retired >= 1500
+            assert result.ipc > 0.05
+
+    def test_machine_variants_complete(self):
+        for config in (MachineConfig(interconnect="ring"),
+                       MachineConfig(hop_latency=1),
+                       MachineConfig(width=8, num_clusters=2)):
+            result = simulate("gzip", StrategySpec(kind="fdrt"),
+                              config=config, instructions=1200, warmup=800)
+            assert result.retired >= 1200
+
+    def test_two_cluster_machine_clusters_in_range(self, tiny_program):
+        config = MachineConfig(width=8, num_clusters=2)
+        simulator = Simulator(tiny_program, StrategySpec(kind="fdrt"),
+                              config=config)
+        pipeline = simulator.pipeline
+        seen = set()
+        original = pipeline.fill_unit.retire
+        pipeline.fill_unit.retire = lambda inst, now: (
+            seen.add(inst.cluster), original(inst, now))
+        pipeline.run(2000)
+        assert seen <= {0, 1}
+
+    def test_idealized_configs_complete(self):
+        for mode in ("zero_all", "zero_critical", "zero_intra_trace",
+                     "zero_inter_trace"):
+            config = MachineConfig(forward_latency_mode=mode)
+            result = simulate("gzip", StrategySpec(kind="base"),
+                              config=config, instructions=1200, warmup=500)
+            assert result.retired >= 1200
+
+    def test_zero_all_has_zero_distance_effect(self):
+        """With free forwarding the critical distance stats still record
+        the physical distance (the stat measures placement, not cost)."""
+        config = MachineConfig(forward_latency_mode="zero_all")
+        result = simulate("gzip", StrategySpec(kind="base"),
+                          config=config, instructions=2500, warmup=2000)
+        assert result.avg_forward_distance > 0
+
+
+class TestDeterminism:
+    def test_same_inputs_same_cycles(self):
+        a = simulate("eon", StrategySpec(kind="fdrt"),
+                     instructions=2500, warmup=1500)
+        b = simulate("eon", StrategySpec(kind="fdrt"),
+                     instructions=2500, warmup=1500)
+        assert a.cycles == b.cycles
+        assert a.option_counts == b.option_counts
+
+    def test_strategies_share_the_same_committed_stream(self, tiny_program):
+        """Different strategies must retire identical instruction
+        sequences (assignment changes timing, never architecture)."""
+        streams = {}
+        for kind in ("base", "fdrt"):
+            pipeline = Simulator(tiny_program, StrategySpec(kind=kind)).pipeline
+            seqs = []
+            original = pipeline.fill_unit.retire
+            pipeline.fill_unit.retire = (
+                lambda inst, now, seqs=seqs, orig=original:
+                (seqs.append(inst.static.pc), orig(inst, now))
+            )
+            pipeline.run(1500)
+            streams[kind] = seqs[:1400]
+        assert streams["base"] == streams["fdrt"]
+
+
+class TestBenchmarkDifferentiation:
+    def test_footprints_differ(self):
+        gcc = generate_program(profile_for("gcc"))
+        adpcm = generate_program(profile_for("adpcm_enc"))
+        assert gcc.static_size > 3 * adpcm.static_size
+
+    def test_media_is_more_predictable_than_twolf(self):
+        media = simulate("adpcm_enc", StrategySpec(kind="base"),
+                         instructions=4000, warmup=12000)
+        twolf = simulate("twolf", StrategySpec(kind="base"),
+                         instructions=4000, warmup=12000)
+        assert media.mispredict_rate < twolf.mispredict_rate
+
+    def test_eon_exercises_fp_units(self, tiny_program):
+        simulator = Simulator("eon", StrategySpec(kind="base"))
+        pipeline = simulator.pipeline
+        pipeline.run(4000)
+        fp_dispatches = sum(
+            unit.dispatched
+            for cluster in pipeline.clusters
+            for unit in cluster.units
+            if unit.name in ("fp", "cpxfp", "fpmem")
+        )
+        assert fp_dispatches > 0

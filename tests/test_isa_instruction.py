@@ -1,0 +1,66 @@
+"""Unit tests for static and dynamic instruction representations."""
+
+import pytest
+
+from repro.isa import BranchKind, DynInst, Instruction, Opcode
+from repro.isa.instruction import LeaderFollower
+
+
+def test_instruction_basic_fields():
+    instr = Instruction(0x1000, Opcode.ADD, dest=8, srcs=(1, 2))
+    assert instr.pc == 0x1000
+    assert instr.dest == 8
+    assert instr.srcs == (1, 2)
+    assert not instr.is_mem
+    assert not instr.is_branch
+    assert instr.branch_kind is BranchKind.NOT_BRANCH
+
+
+def test_instruction_rejects_three_sources():
+    with pytest.raises(ValueError):
+        Instruction(0, Opcode.ADD, 8, (1, 2, 3))
+
+
+def test_memory_instruction_requires_stream():
+    with pytest.raises(ValueError):
+        Instruction(0, Opcode.LOAD, 8, (1,))
+    instr = Instruction(0, Opcode.LOAD, 8, (1,), mem_stream_id=0)
+    assert instr.is_mem and instr.is_load and not instr.is_store
+
+
+def test_store_classification():
+    instr = Instruction(0, Opcode.STORE, None, (1, 2), mem_stream_id=3)
+    assert instr.is_store and not instr.is_load
+
+
+@pytest.mark.parametrize("op,kind", [
+    (Opcode.BEQ, BranchKind.CONDITIONAL),
+    (Opcode.BNE, BranchKind.CONDITIONAL),
+    (Opcode.JMP, BranchKind.UNCONDITIONAL),
+    (Opcode.CALL, BranchKind.CALL),
+    (Opcode.RET, BranchKind.RETURN),
+])
+def test_branch_kinds(op, kind):
+    instr = Instruction(0, op, None, ())
+    assert instr.branch_kind is kind
+    assert instr.is_branch
+
+
+def test_dyninst_initial_state():
+    static = Instruction(0x2000, Opcode.SUB, 9, (8,))
+    dyn = DynInst(static, seq=42)
+    assert dyn.seq == 42
+    assert dyn.pc == 0x2000
+    assert dyn.opcode is Opcode.SUB
+    assert dyn.cluster == -1
+    assert dyn.leader_follower is LeaderFollower.NONE
+    assert dyn.chain_cluster == -1
+    assert not dyn.from_trace_cache
+    assert dyn.complete_cycle == -1
+    assert dyn.ready_time is None
+
+
+def test_dyninst_slots_are_closed():
+    dyn = DynInst(Instruction(0, Opcode.ADD, 8, ()), 0)
+    with pytest.raises(AttributeError):
+        dyn.unknown_attribute = 1

@@ -1,0 +1,83 @@
+"""Unit tests for opcode classification and latencies."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    BRANCH_OPCODES,
+    EXEC_LATENCY,
+    ISSUE_LATENCY,
+    LOAD_OPCODES,
+    MEMORY_OPCODES,
+    STORE_OPCODES,
+    Opcode,
+    OpClass,
+    is_load,
+    is_store,
+    op_class,
+)
+
+
+def test_every_opcode_has_a_class():
+    for op in Opcode:
+        assert isinstance(op_class(op), OpClass)
+
+
+def test_every_opcode_has_latencies():
+    for op in Opcode:
+        assert EXEC_LATENCY[op] >= 1
+        assert ISSUE_LATENCY[op] >= 1
+
+
+def test_simple_int_ops_single_cycle():
+    for op in (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.XOR, Opcode.MOV):
+        assert op_class(op) is OpClass.SIMPLE_INT
+        assert EXEC_LATENCY[op] == 1
+        assert ISSUE_LATENCY[op] == 1
+
+
+def test_complex_int_latencies_match_table7():
+    assert EXEC_LATENCY[Opcode.MUL] == 3
+    assert EXEC_LATENCY[Opcode.DIV] == 20
+    assert ISSUE_LATENCY[Opcode.MUL] == 1
+    assert ISSUE_LATENCY[Opcode.DIV] == 19
+
+
+def test_fp_latencies_match_table7():
+    assert EXEC_LATENCY[Opcode.FMUL] == 3
+    assert EXEC_LATENCY[Opcode.FDIV] == 12
+    assert EXEC_LATENCY[Opcode.FSQRT] == 24
+    assert ISSUE_LATENCY[Opcode.FDIV] == 12
+    assert ISSUE_LATENCY[Opcode.FSQRT] == 24
+
+
+def test_simple_fp_is_two_cycles():
+    for op in (Opcode.FADD, Opcode.FSUB, Opcode.FCMP):
+        assert op_class(op) is OpClass.SIMPLE_FP
+        assert EXEC_LATENCY[op] == 2
+
+
+def test_memory_opcode_sets_are_consistent():
+    assert LOAD_OPCODES | STORE_OPCODES == MEMORY_OPCODES
+    assert not LOAD_OPCODES & STORE_OPCODES
+    for op in MEMORY_OPCODES:
+        assert op_class(op) in (OpClass.INT_MEM, OpClass.FP_MEM)
+
+
+def test_branch_opcodes():
+    assert Opcode.BEQ in BRANCH_OPCODES
+    assert Opcode.RET in BRANCH_OPCODES
+    assert Opcode.ADD not in BRANCH_OPCODES
+    for op in BRANCH_OPCODES:
+        assert op_class(op) is OpClass.BRANCH
+
+
+@pytest.mark.parametrize("op,load,store", [
+    (Opcode.LOAD, True, False),
+    (Opcode.FLOAD, True, False),
+    (Opcode.STORE, False, True),
+    (Opcode.FSTORE, False, True),
+    (Opcode.ADD, False, False),
+])
+def test_load_store_predicates(op, load, store):
+    assert is_load(op) is load
+    assert is_store(op) is store

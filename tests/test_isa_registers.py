@@ -1,0 +1,71 @@
+"""Unit tests for the architectural register model and producer tracking."""
+
+import pytest
+
+from repro.isa.registers import (
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    RegisterFile,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    reg_name,
+)
+
+
+def test_int_and_fp_encodings_disjoint():
+    ints = {int_reg(i) for i in range(NUM_INT_REGS)}
+    fps = {fp_reg(i) for i in range(NUM_FP_REGS)}
+    assert not ints & fps
+    assert len(ints | fps) == NUM_INT_REGS + NUM_FP_REGS
+
+
+def test_reg_bounds_checked():
+    with pytest.raises(ValueError):
+        int_reg(NUM_INT_REGS)
+    with pytest.raises(ValueError):
+        fp_reg(-1)
+
+
+def test_is_fp_reg():
+    assert not is_fp_reg(int_reg(0))
+    assert not is_fp_reg(int_reg(31))
+    assert is_fp_reg(fp_reg(0))
+    assert is_fp_reg(fp_reg(31))
+
+
+def test_reg_name():
+    assert reg_name(int_reg(3)) == "r3"
+    assert reg_name(fp_reg(5)) == "f5"
+
+
+def test_register_file_tracks_latest_producer():
+    regfile = RegisterFile()
+    r = int_reg(4)
+    assert regfile.producer(r) is None
+    a, b = object(), object()
+    regfile.set_producer(r, a)
+    assert regfile.producer(r) is a
+    regfile.set_producer(r, b)
+    assert regfile.producer(r) is b
+
+
+def test_clear_producer_only_clears_matching_token():
+    regfile = RegisterFile()
+    r = int_reg(4)
+    a, b = object(), object()
+    regfile.set_producer(r, a)
+    regfile.set_producer(r, b)
+    # `a` retired after being overwritten: must not clear `b`.
+    regfile.clear_producer(r, a)
+    assert regfile.producer(r) is b
+    regfile.clear_producer(r, b)
+    assert regfile.producer(r) is None
+
+
+def test_register_file_reset():
+    regfile = RegisterFile()
+    for i in range(NUM_INT_REGS):
+        regfile.set_producer(int_reg(i), object())
+    regfile.reset()
+    assert all(regfile.producer(int_reg(i)) is None for i in range(NUM_INT_REGS))

@@ -1,0 +1,118 @@
+"""Unit tests for the cache timing model."""
+
+import pytest
+
+from repro.memory.cache import Cache, MainMemory
+
+
+def make_l1(mshrs=16, next_latency=10):
+    return Cache("L1", size_bytes=1024, assoc=2, line_size=64,
+                 hit_latency=2, next_level=MainMemory(next_latency),
+                 mshrs=mshrs)
+
+
+class TestBasics:
+    def test_geometry(self):
+        cache = make_l1()
+        assert cache.sets == 8
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 1000, 3, 64, 1, MainMemory())
+
+    def test_cold_miss_then_hit(self):
+        cache = make_l1()
+        latency = cache.access(0x100, now=0)
+        assert latency == 2 + 10  # hit latency + memory
+        assert cache.misses == 1
+        # After the fill completes the line is resident.
+        latency = cache.access(0x100, now=100)
+        assert latency == 2
+        assert cache.hits == 1
+
+    def test_same_line_different_word_hits(self):
+        cache = make_l1()
+        cache.access(0x100, now=0)
+        assert cache.access(0x13C, now=100) == 2  # same 64B line
+
+    def test_miss_before_fill_completes_merges(self):
+        cache = make_l1()
+        first = cache.access(0x100, now=0)
+        assert first == 12
+        merged = cache.access(0x100, now=4)
+        # Remaining fill time (12 - 4 = 8) plus the hit latency.
+        assert merged == 8 + 2
+        assert cache.mshr_merges == 1
+
+    def test_lru_eviction(self):
+        cache = make_l1()
+        sets = cache.sets
+        lines = [64 * sets * k for k in range(3)]  # same set, 2-way
+        for line in lines:
+            cache.access(line, now=0)
+        # Let fills complete, then re-touch: line 0 was evicted.
+        assert cache.access(lines[1], now=1000) == 2
+        assert cache.access(lines[2], now=1000) == 2
+        assert cache.access(lines[0], now=1000) > 2
+
+    def test_hit_refreshes_lru(self):
+        cache = make_l1()
+        sets = cache.sets
+        lines = [64 * sets * k for k in range(3)]
+        cache.access(lines[0], now=0)
+        cache.access(lines[1], now=0)
+        cache.access(lines[0], now=100)   # refresh
+        cache.access(lines[2], now=100)   # evicts lines[1]
+        assert cache.access(lines[0], now=1000) == 2
+        assert cache.access(lines[1], now=1000) > 2
+
+
+class TestMSHRs:
+    def test_mshr_limit_serialises(self):
+        cache = make_l1(mshrs=1, next_latency=20)
+        first = cache.access(0x000, now=0)
+        second = cache.access(0x1000, now=0)  # different line, MSHRs full
+        assert second > first
+        assert cache.mshr_stalls == 1
+
+    def test_distinct_lines_use_distinct_mshrs(self):
+        cache = make_l1(mshrs=4)
+        a = cache.access(0x0000, now=0)
+        b = cache.access(0x1000, now=0)
+        assert a == b == 12
+        assert cache.mshr_stalls == 0
+
+
+class TestHierarchy:
+    def test_two_level_miss_latency_adds_up(self):
+        l2 = Cache("L2", 64 * 1024, 4, 64, 8, MainMemory(65))
+        l1 = Cache("L1", 1024, 2, 64, 2, l2)
+        # Cold: L1 miss -> L2 miss -> memory.
+        assert l1.access(0x5000, now=0) == 2 + 8 + 65
+        # Warm L2, cold L1 (different L1 set pressure not involved here,
+        # so re-access after eviction would be L1 hit; instead touch a
+        # second address sharing the L2 line but a different L1 line).
+        assert l1.access(0x5000, now=1000) == 2
+
+    def test_stats_reset_keeps_contents(self):
+        cache = make_l1()
+        cache.access(0x100, now=0)
+        cache.reset_stats()
+        assert cache.misses == 0
+        assert cache.access(0x100, now=1000) == 2  # still resident
+        assert cache.hits == 1
+
+    def test_hit_rate(self):
+        cache = make_l1()
+        assert cache.hit_rate == 1.0
+        cache.access(0x100, now=0)
+        cache.access(0x100, now=100)
+        assert cache.hit_rate == 0.5
+
+    def test_present_does_not_mutate(self):
+        cache = make_l1()
+        assert not cache.present(0x100)
+        cache.access(0x100, now=0)
+        cache.access(0x100, now=100)  # drain the fill
+        assert cache.present(0x100)
+        assert cache.accesses == 2  # present() not counted

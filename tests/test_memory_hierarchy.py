@@ -1,0 +1,70 @@
+"""Unit tests for the assembled memory hierarchy."""
+
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+def make():
+    return MemoryHierarchy()
+
+
+class TestDataAccess:
+    def test_cold_load_goes_to_memory(self):
+        mem = make()
+        latency = mem.data_access(seq=1, addr=0x10000, is_store=False, now=0)
+        # TLB miss (30) + L1 (2) + L2 (8) + memory (65).
+        assert latency == 30 + 2 + 8 + 65
+
+    def test_warm_load_hits_l1(self):
+        mem = make()
+        mem.data_access(1, 0x10000, False, now=0)
+        latency = mem.data_access(2, 0x10000, False, now=1000)
+        assert latency == mem.l1d.hit_latency
+
+    def test_store_completes_into_buffer(self):
+        mem = make()
+        mem.data_access(1, 0x10000, False, now=0)  # warm the TLB
+        latency = mem.data_access(2, 0x10000, True, now=1000)
+        assert latency == 1  # buffered, no cache wait
+        assert len(mem.store_buffer) == 1
+
+    def test_load_forwards_from_store_buffer(self):
+        mem = make()
+        mem.data_access(1, 0x20000, True, now=0)   # store (TLB miss)
+        l1_misses_before = mem.l1d.misses
+        latency = mem.data_access(2, 0x20000, False, now=100)
+        assert latency == 1  # forwarded, cache untouched
+        assert mem.l1d.misses == l1_misses_before
+        assert mem.store_buffer.forwards == 1
+
+    def test_tlb_miss_serialises_before_cache(self):
+        mem = make()
+        first = mem.data_access(1, 0x30000, False, now=0)
+        # Same 4KB page, different L1 line: TLB hit but L1 miss, so the
+        # 30-cycle page walk is the difference.
+        second = mem.data_access(2, 0x30800, False, now=10**9)
+        assert first - second == mem.dtlb.miss_latency
+
+    def test_retire_releases_lsq(self):
+        mem = make()
+        mem.data_access(1, 0x10000, True, now=0)
+        mem.load_queue.insert(2)
+        mem.retire_up_to(2)
+        assert len(mem.store_buffer) == 0
+        assert len(mem.load_queue) == 0
+
+
+class TestPorts:
+    def test_ports_limit_per_cycle(self):
+        mem = make()
+        assert mem.port_available(5)
+        for _ in range(mem.dcache_ports):
+            mem.data_access(1, 0x1000, False, now=5)
+        assert not mem.port_available(5)
+        assert mem.port_available(6)
+
+    def test_reset_stats(self):
+        mem = make()
+        mem.data_access(1, 0x1000, False, now=0)
+        mem.reset_stats()
+        assert mem.l1d.misses == 0
+        assert mem.dtlb.misses == 0

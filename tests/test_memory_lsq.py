@@ -1,0 +1,78 @@
+"""Unit tests for the store buffer and load queue."""
+
+from repro.memory.lsq import LoadQueue, StoreBuffer
+
+
+class TestStoreBuffer:
+    def test_capacity(self):
+        buffer = StoreBuffer(entries=2)
+        assert buffer.insert(1, 0x100)
+        assert buffer.insert(2, 0x200)
+        assert buffer.full
+        assert not buffer.insert(3, 0x300)
+
+    def test_forwarding_from_older_store(self):
+        buffer = StoreBuffer()
+        buffer.insert(10, 0x1000)
+        assert buffer.forward_for_load(seq=20, addr=0x1000)
+        assert buffer.forwards == 1
+
+    def test_no_forwarding_from_younger_store(self):
+        buffer = StoreBuffer()
+        buffer.insert(30, 0x1000)
+        assert not buffer.forward_for_load(seq=20, addr=0x1000)
+
+    def test_no_forwarding_different_word(self):
+        buffer = StoreBuffer(word_size=8)
+        buffer.insert(10, 0x1000)
+        assert not buffer.forward_for_load(seq=20, addr=0x1010)
+
+    def test_same_word_different_byte_forwards(self):
+        buffer = StoreBuffer(word_size=8)
+        buffer.insert(10, 0x1000)
+        assert buffer.forward_for_load(seq=20, addr=0x1004)
+
+    def test_release_up_to(self):
+        buffer = StoreBuffer()
+        buffer.insert(1, 0x100)
+        buffer.insert(5, 0x200)
+        buffer.release_up_to(3)
+        assert len(buffer) == 1
+        assert not buffer.forward_for_load(seq=9, addr=0x100)
+        assert buffer.forward_for_load(seq=9, addr=0x200)
+
+    def test_youngest_older_store_wins(self):
+        """Two older stores to the same word: forwarding still matches."""
+        buffer = StoreBuffer()
+        buffer.insert(1, 0x100)
+        buffer.insert(2, 0x100)
+        assert buffer.forward_for_load(seq=3, addr=0x100)
+
+    def test_clear(self):
+        buffer = StoreBuffer()
+        buffer.insert(1, 0x100)
+        buffer.clear()
+        assert len(buffer) == 0
+
+
+class TestLoadQueue:
+    def test_capacity(self):
+        queue = LoadQueue(entries=2)
+        assert queue.insert(1)
+        assert queue.insert(2)
+        assert queue.full
+        assert not queue.insert(3)
+
+    def test_release(self):
+        queue = LoadQueue(entries=2)
+        queue.insert(1)
+        queue.insert(2)
+        queue.release_up_to(1)
+        assert len(queue) == 1
+        assert not queue.full
+
+    def test_clear(self):
+        queue = LoadQueue()
+        queue.insert(1)
+        queue.clear()
+        assert len(queue) == 0

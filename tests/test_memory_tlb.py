@@ -1,0 +1,44 @@
+"""Unit tests for the D-TLB."""
+
+import pytest
+
+from repro.memory.tlb import TLB
+
+
+def test_miss_then_hit():
+    tlb = TLB(entries=128, assoc=4, hit_latency=1, miss_latency=30)
+    assert tlb.access(0x1234) == 31
+    assert tlb.access(0x1238) == 1  # same page
+    assert tlb.hits == 1 and tlb.misses == 1
+
+
+def test_distinct_pages_miss_independently():
+    tlb = TLB(entries=128, assoc=4)
+    tlb.access(0x0000)
+    assert tlb.access(0x2000) == tlb.hit_latency + tlb.miss_latency
+
+
+def test_lru_within_set():
+    tlb = TLB(entries=4, assoc=2, page_size=4096)
+    sets = tlb.sets  # 2
+    pages = [4096 * sets * k for k in range(3)]  # same set
+    for page in pages:
+        tlb.access(page)
+    assert tlb.access(pages[0]) > tlb.hit_latency  # evicted
+    assert tlb.access(pages[2]) == tlb.hit_latency
+
+
+def test_bad_geometry():
+    with pytest.raises(ValueError):
+        TLB(entries=10, assoc=4)
+
+
+def test_hit_rate_and_reset():
+    tlb = TLB()
+    assert tlb.hit_rate == 1.0
+    tlb.access(0)
+    tlb.access(0)
+    assert tlb.hit_rate == 0.5
+    tlb.reset_stats()
+    assert tlb.hits == 0 and tlb.misses == 0
+    assert tlb.access(0) == tlb.hit_latency  # contents preserved

@@ -1,0 +1,52 @@
+"""Tests of trace cache partial matching (extension feature)."""
+
+import pytest
+
+from repro import MachineConfig, Simulator, StrategySpec, simulate
+
+
+class TestPartialMatching:
+    def test_disabled_by_default(self):
+        assert MachineConfig().tc_partial_matching is False
+
+    def test_partial_hits_counted_when_enabled(self):
+        config = MachineConfig(tc_partial_matching=True)
+        simulator = Simulator("twolf", StrategySpec(kind="base"),
+                              config=config)
+        simulator.pipeline.run(20_000)
+        # twolf's unpredictable branches produce plenty of path variants,
+        # so partial prefixes get used.
+        assert simulator.pipeline.fetch_engine.partial_hits > 0
+
+    def test_no_partial_hits_when_disabled(self):
+        simulator = Simulator("twolf", StrategySpec(kind="base"))
+        simulator.pipeline.run(10_000)
+        assert simulator.pipeline.fetch_engine.partial_hits == 0
+
+    def test_architectural_correctness_preserved(self, tiny_program):
+        """Partial matching must not change what retires, only when."""
+        from repro.core.pipeline import Pipeline
+
+        streams = {}
+        for partial in (False, True):
+            config = MachineConfig(tc_partial_matching=partial)
+            pipeline = Pipeline(tiny_program, config, StrategySpec(kind="base"))
+            seqs = []
+            original = pipeline.fill_unit.retire
+            pipeline.fill_unit.retire = (
+                lambda inst, now, seqs=seqs, orig=original:
+                (seqs.append(inst.seq), orig(inst, now))
+            )
+            pipeline.run(2500)
+            streams[partial] = seqs[:2400]
+        assert streams[False] == streams[True]
+
+    def test_partial_matching_does_not_hurt_tc_supply(self):
+        """With partial matching more instructions come from the TC."""
+        plain = simulate("twolf", StrategySpec(kind="base"),
+                         instructions=8000, warmup=15000)
+        partial = simulate("twolf", StrategySpec(kind="base"),
+                           config=MachineConfig(tc_partial_matching=True),
+                           instructions=8000, warmup=15000)
+        assert (partial.pct_tc_instructions
+                >= plain.pct_tc_instructions - 0.03)

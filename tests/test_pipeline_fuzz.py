@@ -1,0 +1,99 @@
+"""Property-based fuzzing of the full pipeline on random workloads.
+
+Hypothesis generates random (small) workload profiles and machine shapes;
+the pipeline must preserve its architectural invariants on every one:
+retirement matches functional execution, no deadlock, no counter going
+negative, statistics staying within their domains.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assign.base import StrategySpec
+from repro.cluster.config import MachineConfig
+from repro.core.pipeline import Pipeline
+from repro.workloads.execution import FunctionalSimulator
+from repro.workloads.generator import generate_program
+from repro.workloads.profiles import WorkloadProfile
+
+
+@st.composite
+def profiles(draw):
+    return WorkloadProfile(
+        name="fuzz",
+        num_funcs=draw(st.integers(1, 4)),
+        loops_per_func=draw(st.integers(1, 3)),
+        diamonds_per_loop=draw(st.integers(1, 3)),
+        mean_block_size=draw(st.floats(3.0, 8.0)),
+        frac_mem=draw(st.floats(0.0, 0.45)),
+        frac_cpx_int=draw(st.floats(0.0, 0.08)),
+        frac_fp=draw(st.floats(0.0, 0.15)),
+        loop_trip_mean=draw(st.integers(2, 64)),
+        frac_pattern_branches=draw(st.floats(0.0, 0.8)),
+        frac_hard_branches=draw(st.floats(0.0, 0.2)),
+        branch_bias=draw(st.floats(0.3, 0.95)),
+        p_near=draw(st.floats(0.1, 0.6)),
+        p_mid=draw(st.floats(0.0, 0.3)),
+        working_set_kb=draw(st.sampled_from([16, 64, 256, 1024])),
+        stride_frac=draw(st.floats(0.0, 1.0)),
+        hot_frac=draw(st.floats(0.2, 0.95)),
+        seed=draw(st.integers(0, 10_000)),
+    )
+
+
+@st.composite
+def machines(draw):
+    num_clusters = draw(st.sampled_from([2, 4]))
+    return MachineConfig(
+        width=4 * num_clusters,
+        num_clusters=num_clusters,
+        interconnect=draw(st.sampled_from(["chain", "ring"])),
+        hop_latency=draw(st.integers(1, 3)),
+        rob_entries=draw(st.sampled_from([32, 128])),
+        fill_unit_latency=draw(st.integers(0, 20)),
+    )
+
+
+@given(profiles(), st.sampled_from(["base", "friendly", "fdrt", "issue"]))
+@settings(max_examples=15, deadline=None)
+def test_retirement_always_matches_functional_order(profile, kind):
+    program = generate_program(profile)
+    pipeline = Pipeline(program, MachineConfig(), StrategySpec(kind=kind))
+    retired = []
+    original = pipeline.fill_unit.retire
+    pipeline.fill_unit.retire = lambda inst, now: (
+        retired.append(inst.seq), original(inst, now))
+    pipeline.run(700)
+    assert retired == sorted(retired)
+    reference = FunctionalSimulator(program).run(len(retired))
+    assert retired == [inst.seq for inst in reference]
+
+
+@given(profiles(), machines())
+@settings(max_examples=15, deadline=None)
+def test_no_deadlock_and_stats_in_domain(profile, config):
+    program = generate_program(profile)
+    pipeline = Pipeline(program, config, StrategySpec(kind="fdrt"))
+    pipeline.run(600)  # raises on deadlock via watchdog
+    stats = pipeline.stats
+    assert stats.retired >= 600
+    assert stats.cycles > 0
+    assert 0.0 <= stats.pct_tc_instructions <= 1.0
+    assert 0.0 <= stats.pct_deps_critical <= 1.0
+    assert 0.0 <= stats.pct_critical_inter_trace <= 1.0
+    assert 0.0 <= stats.pct_intra_cluster_forwarding <= 1.0
+    assert stats.avg_forward_distance >= 0.0
+    assert stats.forwarded_hops >= 0
+
+
+@given(profiles())
+@settings(max_examples=10, deadline=None)
+def test_rob_capacity_never_exceeded(profile):
+    program = generate_program(profile)
+    config = MachineConfig(rob_entries=24)
+    pipeline = Pipeline(program, config, StrategySpec(kind="base"))
+    for _ in range(800):
+        pipeline.step()
+        assert len(pipeline.rob) <= 24

@@ -1,0 +1,198 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assign.base import AssignmentContext
+from repro.assign.fdrt import FDRTStrategy
+from repro.assign.friendly import FriendlyRetireTime
+from repro.cluster.config import MachineConfig
+from repro.cluster.interconnect import Interconnect
+from repro.frontend import BranchTargetBuffer
+from repro.isa.instruction import LeaderFollower
+from repro.memory.cache import Cache, MainMemory
+from repro.memory.lsq import StoreBuffer
+from repro.tracecache.trace_cache import TraceCache
+from tests.conftest import link, make_dyn
+from tests.test_tracecache_cache import make_line
+
+
+# ----------------------------------------------------------------------
+# Cache invariants.
+# ----------------------------------------------------------------------
+@given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1,
+                max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_cache_latency_bounds(addresses):
+    cache = Cache("c", 1024, 2, 64, hit_latency=2,
+                  next_level=MainMemory(50), mshrs=8)
+    now = 0
+    for addr in addresses:
+        latency = cache.access(addr, now)
+        assert 2 <= latency <= 2 + 50 + 50  # hit .. miss (+MSHR serialise)
+        now += 3
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1,
+                max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_cache_repeat_access_is_hit(addresses):
+    """Accessing the same address again far in the future is always a hit."""
+    cache = Cache("c", 4096, 4, 64, hit_latency=1,
+                  next_level=MainMemory(10), mshrs=8)
+    now = 0
+    for addr in addresses:
+        cache.access(addr, now)
+        now += 100
+        assert cache.access(addr, now) == 1
+        now += 100
+
+
+# ----------------------------------------------------------------------
+# Interconnect invariants.
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=2, max_value=8),
+       st.sampled_from(["chain", "ring"]),
+       st.integers(min_value=1, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_interconnect_is_a_metric(n, topology, hop):
+    net = Interconnect(MachineConfig(width=4 * n, num_clusters=n,
+                                     hop_latency=hop, interconnect=topology))
+    for a in range(n):
+        assert net.distance(a, a) == 0
+        for b in range(n):
+            assert net.distance(a, b) == net.distance(b, a)
+            assert net.forward_latency(a, b) == hop * net.distance(a, b)
+            for c in range(n):
+                assert (net.distance(a, c)
+                        <= net.distance(a, b) + net.distance(b, c))
+
+
+@given(st.integers(min_value=2, max_value=8))
+@settings(max_examples=20, deadline=None)
+def test_ring_never_farther_than_chain(n):
+    chain = Interconnect(MachineConfig(width=4 * n, num_clusters=n))
+    ring = Interconnect(MachineConfig(width=4 * n, num_clusters=n,
+                                      interconnect="ring"))
+    for a in range(n):
+        for b in range(n):
+            assert ring.distance(a, b) <= chain.distance(a, b)
+
+
+# ----------------------------------------------------------------------
+# Store buffer invariants.
+# ----------------------------------------------------------------------
+@given(st.lists(st.tuples(st.integers(0, 100), st.integers(0, 1 << 12)),
+                min_size=1, max_size=64))
+@settings(max_examples=50, deadline=None)
+def test_store_buffer_never_overflows(ops):
+    buffer = StoreBuffer(entries=8)
+    for seq, addr in ops:
+        buffer.insert(seq, addr)
+        assert len(buffer) <= 8
+
+
+@given(st.integers(0, 1 << 12), st.integers(1, 1000))
+@settings(max_examples=50, deadline=None)
+def test_store_buffer_forwarding_requires_older_store(addr, seq):
+    buffer = StoreBuffer()
+    buffer.insert(seq, addr)
+    assert not buffer.forward_for_load(seq=seq, addr=addr)  # same age: no
+    assert buffer.forward_for_load(seq=seq + 1, addr=addr)
+
+
+# ----------------------------------------------------------------------
+# Reordering strategies: permutation invariant.
+# ----------------------------------------------------------------------
+def _random_trace(rng, n, chain_frac=0.3):
+    insts = []
+    for i in range(n):
+        inst = make_dyn(i)
+        if insts and rng.random() < 0.5:
+            producer = rng.choice(insts)
+            link(inst, producer)
+            if rng.random() < 0.7:
+                inst.critical_forwarded = True
+                inst.critical_producer = producer
+                inst.critical_src = 0
+        if rng.random() < chain_frac:
+            inst.leader_follower = rng.choice(
+                [LeaderFollower.LEADER, LeaderFollower.FOLLOWER])
+            inst.chain_cluster = rng.randrange(4)
+        insts.append(inst)
+    return insts
+
+
+@given(st.integers(min_value=1, max_value=16), st.integers(0, 10**6))
+@settings(max_examples=100, deadline=None)
+def test_fdrt_reorder_is_a_permutation(n, seed):
+    config = MachineConfig()
+    context = AssignmentContext(config, Interconnect(config))
+    strategy = FDRTStrategy(context)
+    insts = _random_trace(random.Random(seed), n)
+    slots = strategy.reorder(insts)
+    assert len(slots) == config.width
+    placed = [x for x in slots if x is not None]
+    assert sorted(placed) == list(range(n))
+
+
+@given(st.integers(min_value=1, max_value=16), st.integers(0, 10**6))
+@settings(max_examples=100, deadline=None)
+def test_friendly_reorder_is_a_permutation(n, seed):
+    config = MachineConfig()
+    context = AssignmentContext(config, Interconnect(config))
+    strategy = FriendlyRetireTime(context)
+    insts = _random_trace(random.Random(seed), n, chain_frac=0.0)
+    slots = strategy.reorder(insts)
+    placed = [x for x in slots if x is not None]
+    assert sorted(placed) == list(range(n))
+
+
+@given(st.integers(min_value=1, max_value=8), st.integers(0, 10**6))
+@settings(max_examples=50, deadline=None)
+def test_fdrt_two_cluster_machine_permutation(n, seed):
+    config = MachineConfig(width=8, num_clusters=2)
+    context = AssignmentContext(config, Interconnect(config))
+    strategy = FDRTStrategy(context)
+    insts = _random_trace(random.Random(seed), n)
+    slots = strategy.reorder(insts)
+    placed = [x for x in slots if x is not None]
+    assert sorted(placed) == list(range(n))
+
+
+# ----------------------------------------------------------------------
+# Trace cache invariants.
+# ----------------------------------------------------------------------
+@given(st.lists(st.tuples(st.integers(0, 63), st.booleans()),
+                min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_trace_cache_capacity_respected(keys):
+    cache = TraceCache(entries=16, assoc=2)
+    for pc_index, direction in keys:
+        cache.insert(make_line(pc_index * 4, dirs=(direction,)))
+        assert cache.resident_lines() <= 16
+    for pc_index, direction in keys[-5:]:
+        line = cache.probe((pc_index * 4, (direction,)))
+        if line is not None:
+            assert line.start_pc == pc_index * 4
+
+
+# ----------------------------------------------------------------------
+# BTB invariants.
+# ----------------------------------------------------------------------
+@given(st.lists(st.tuples(st.integers(0, 1 << 14).map(lambda x: x * 4),
+                          st.integers(0, 1 << 16)),
+                min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_btb_lookup_returns_latest_update(updates):
+    btb = BranchTargetBuffer(64, 4)
+    latest = {}
+    for pc, target in updates:
+        btb.update(pc, target)
+        latest[pc] = target
+    # Whatever is still resident must be the most recent target.
+    for pc, target in latest.items():
+        result = btb.lookup(pc)
+        assert result is None or result == target

@@ -1,0 +1,42 @@
+"""Test of the one-call report generator (tiny budgets)."""
+
+import pytest
+
+from repro.experiments.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report(
+        benchmarks=("gzip",),
+        spec_suite=("gzip",),
+        media_suite=("adpcm_enc",),
+        instructions=800,
+        warmup=800,
+    )
+
+
+def test_report_contains_every_artifact(report):
+    for artifact in ("Table 1", "Table 2", "Table 3", "Figure 4",
+                     "Figure 5", "Figure 6", "Table 8a", "Table 8b",
+                     "Figure 7", "Table 9", "Table 10", "Figure 8",
+                     "Figure 9"):
+        assert artifact in report, artifact
+
+
+def test_report_is_markdown(report):
+    assert report.startswith("# Reproduction report")
+    assert "```" in report
+
+
+def test_sections_can_be_skipped():
+    text = generate_report(
+        benchmarks=("gzip",),
+        instructions=600,
+        warmup=600,
+        include_suites=False,
+        include_robustness=False,
+    )
+    assert "Figure 9" not in text
+    assert "Figure 8" not in text
+    assert "Figure 6" in text

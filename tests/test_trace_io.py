@@ -1,0 +1,101 @@
+"""Tests of trace file recording and replay."""
+
+import io
+
+import pytest
+
+from repro.workloads.execution import FunctionalSimulator
+from repro.workloads.trace_io import (
+    TraceReader,
+    open_trace,
+    record_trace,
+    write_trace,
+)
+
+
+def roundtrip(program, count=600):
+    sim = FunctionalSimulator(program)
+    original = sim.run(count)
+    buffer = io.StringIO()
+    written = write_trace(buffer, original, program_name=program.name)
+    buffer.seek(0)
+    reader = TraceReader(buffer)
+    replayed = list(reader)
+    return original, replayed, written, reader
+
+
+class TestRoundtrip:
+    def test_counts(self, tiny_program):
+        original, replayed, written, _ = roundtrip(tiny_program)
+        assert written == len(original) == len(replayed)
+
+    def test_architectural_fields_preserved(self, tiny_program):
+        original, replayed, _, _ = roundtrip(tiny_program)
+        for a, b in zip(original, replayed):
+            assert a.static.pc == b.static.pc
+            assert a.static.opcode == b.static.opcode
+            assert a.static.dest == b.static.dest
+            assert a.static.srcs == b.static.srcs
+            assert a.static.block_id == b.static.block_id
+            assert a.taken == b.taken
+            assert a.target == b.target
+            assert a.fall_target == b.fall_target
+            assert a.mem_addr == b.mem_addr
+
+    def test_sequence_numbers_regenerated(self, tiny_program):
+        _, replayed, _, _ = roundtrip(tiny_program)
+        assert [i.seq for i in replayed] == list(range(len(replayed)))
+
+    def test_statics_interned(self, tiny_program):
+        _, replayed, _, _ = roundtrip(tiny_program)
+        by_pc = {}
+        for inst in replayed:
+            previous = by_pc.setdefault(inst.static.pc, inst.static)
+            assert previous is inst.static  # same object reused
+
+    def test_header_read(self, tiny_program):
+        _, _, _, reader = roundtrip(tiny_program)
+        assert reader.program_name == tiny_program.name
+        assert reader.version == "1"
+
+
+class TestFileInterface:
+    def test_record_and_open(self, tiny_program, tmp_path):
+        path = tmp_path / "stream.trace"
+        written = record_trace(tiny_program, str(path), 400)
+        assert written == 400
+        reader = open_trace(str(path))
+        assert len(list(reader)) == 400
+
+    def test_replay_drives_the_pipeline(self, tiny_program, tmp_path):
+        """A TraceReader can replace the functional simulator."""
+        from repro.assign.base import StrategySpec
+        from repro.cluster.config import MachineConfig
+        from repro.core.fetch import StreamCursor
+        from repro.core.pipeline import Pipeline
+
+        path = tmp_path / "stream.trace"
+        record_trace(tiny_program, str(path), 1200)
+        pipeline = Pipeline(tiny_program, MachineConfig(),
+                            StrategySpec(kind="fdrt"))
+        pipeline.cursor = StreamCursor(open_trace(str(path)))
+        pipeline.fetch_engine.cursor = pipeline.cursor
+        pipeline.run(1000)
+        assert pipeline.stats.retired >= 1000
+
+
+class TestErrors:
+    def test_unknown_record_kind(self):
+        reader = TraceReader(io.StringIO("X 1 2 3\n"))
+        with pytest.raises(ValueError):
+            reader.step()
+
+    def test_dynamic_before_static(self):
+        reader = TraceReader(io.StringIO("D 4096 1 - - -\n"))
+        with pytest.raises(ValueError):
+            reader.step()
+
+    def test_version_mismatch(self):
+        reader = TraceReader(io.StringIO("#version 999\nD 0 0 - - -\n"))
+        with pytest.raises(ValueError):
+            reader.step()

@@ -1,0 +1,110 @@
+"""Unit tests for the trace cache structure."""
+
+import pytest
+
+from repro.isa import Instruction, Opcode
+from repro.isa.instruction import LeaderFollower
+from repro.tracecache.trace import TraceLine, TraceSlot
+from repro.tracecache.trace_cache import TraceCache
+
+
+def make_line(start_pc, dirs=(), n=4):
+    slots = [
+        TraceSlot(Instruction(start_pc + 4 * i, Opcode.ADD, 8, ()), i)
+        for i in range(n)
+    ]
+    return TraceLine((start_pc, tuple(dirs)), slots, num_blocks=1)
+
+
+def test_insert_and_lookup():
+    cache = TraceCache(entries=64, assoc=2)
+    line = make_line(0x100)
+    cache.insert(line)
+    assert cache.lookup((0x100, ())) is line
+    assert cache.lookup((0x104, ())) is None
+
+
+def test_path_associativity():
+    """Two lines with the same start pc but different paths coexist."""
+    cache = TraceCache(entries=64, assoc=2)
+    taken = make_line(0x100, dirs=(True,))
+    not_taken = make_line(0x100, dirs=(False,))
+    cache.insert(taken)
+    cache.insert(not_taken)
+    assert cache.lookup((0x100, (True,))) is taken
+    assert cache.lookup((0x100, (False,))) is not_taken
+
+
+def test_insert_same_key_replaces():
+    cache = TraceCache(entries=64, assoc=2)
+    old = make_line(0x100)
+    new = make_line(0x100)
+    cache.insert(old)
+    cache.insert(new)
+    assert cache.lookup((0x100, ())) is new
+    assert cache.resident_lines() == 1
+
+
+def test_lru_eviction():
+    cache = TraceCache(entries=2, assoc=2)  # one set
+    a, b, c = make_line(0x100), make_line(0x104), make_line(0x108)
+    cache.insert(a)
+    cache.insert(b)
+    cache.lookup(a.key)  # refresh a
+    cache.insert(c)      # evicts b
+    assert cache.probe(a.key) is a
+    assert cache.probe(b.key) is None
+    assert cache.evictions == 1
+
+
+def test_lines_starting_at_mru_first():
+    cache = TraceCache(entries=64, assoc=2)
+    a = make_line(0x100, dirs=(True,))
+    b = make_line(0x100, dirs=(False,))
+    cache.insert(a)
+    cache.insert(b)
+    assert cache.lines_starting_at(0x100) == [b, a]
+    cache.record_fetch(a)
+    assert cache.lines_starting_at(0x100) == [a, b]
+
+
+def test_record_fetch_statistics():
+    cache = TraceCache(entries=64, assoc=2)
+    line = make_line(0x100)
+    cache.insert(line)
+    cache.record_fetch(line)
+    cache.record_fetch(None)
+    assert cache.lookups == 2
+    assert cache.hits == 1
+    assert cache.hit_rate == 0.5
+
+
+def test_update_profile_patches_resident_line():
+    cache = TraceCache(entries=64, assoc=2)
+    line = make_line(0x100, n=4)
+    cache.insert(line)
+    assert cache.update_profile(line.key, logical=2, chain_cluster=3,
+                                leader_follower=LeaderFollower.LEADER)
+    slot = [s for s in line.slots if s.logical == 2][0]
+    assert slot.chain_cluster == 3
+    assert slot.leader_follower is LeaderFollower.LEADER
+
+
+def test_update_profile_on_missing_line_is_noop():
+    cache = TraceCache(entries=64, assoc=2)
+    assert not cache.update_profile((0x999, ()), 0, chain_cluster=1)
+
+
+def test_bad_geometry():
+    with pytest.raises(ValueError):
+        TraceCache(entries=10, assoc=4)
+
+
+def test_reset_stats_keeps_contents():
+    cache = TraceCache(entries=64, assoc=2)
+    line = make_line(0x100)
+    cache.insert(line)
+    cache.record_fetch(line)
+    cache.reset_stats()
+    assert cache.lookups == 0 and cache.hits == 0
+    assert cache.probe(line.key) is line

@@ -1,0 +1,225 @@
+"""Unit tests for fill-unit trace construction and bookkeeping."""
+
+import pytest
+
+from repro.assign.base import AssignmentContext, RetireTimeStrategy
+from repro.cluster.config import MachineConfig
+from repro.cluster.interconnect import Interconnect
+from repro.isa import DynInst, Instruction, Opcode
+from repro.isa.instruction import LeaderFollower
+from repro.tracecache.fill_unit import FillUnit
+from repro.tracecache.trace_cache import TraceCache
+
+
+def make_fill(config=None, strategy=None):
+    config = config or MachineConfig(fill_unit_latency=0)
+    cache = TraceCache(config.tc_entries, config.tc_assoc)
+    context = AssignmentContext(config, Interconnect(config))
+    strategy = strategy or RetireTimeStrategy(context)
+    return FillUnit(config, cache, strategy), cache
+
+
+def dyn_seq(spec, start_seq=0, base_pc=0x1000):
+    """Build retiring DynInsts from a compact spec.
+
+    ``spec`` is a list of (block_id, count) or (block_id, count, opcode)
+    tuples; instructions get sequential pcs.
+    """
+    out = []
+    seq = start_seq
+    pc = base_pc
+    for entry in spec:
+        block_id, count = entry[0], entry[1]
+        opcode = entry[2] if len(entry) > 2 else Opcode.ADD
+        for _ in range(count):
+            static = Instruction(pc, opcode, 8 if opcode is Opcode.ADD else None,
+                                 (), block_id=block_id)
+            out.append(DynInst(static, seq))
+            seq += 1
+            pc += 4
+    return out
+
+
+def retire_all(fill, insts, now=0):
+    for inst in insts:
+        fill.retire(inst, now)
+
+
+class TestSegmentation:
+    def test_trace_capped_at_width(self):
+        fill, cache = make_fill()
+        retire_all(fill, dyn_seq([(0, 40)]))
+        fill.tick(100)
+        assert fill.traces_built == 2  # 16 + 16; 8 still pending
+        assert fill.avg_built_trace_size == 16
+
+    def test_trace_capped_at_three_blocks(self):
+        fill, cache = make_fill()
+        retire_all(fill, dyn_seq([(0, 3), (1, 3), (2, 3), (3, 3)]))
+        fill.flush(0)
+        assert fill.traces_built == 2  # blocks 0-2, then block 3
+        fill.tick(100)
+        lines = cache.lines_starting_at(0x1000)
+        assert lines and lines[0].num_blocks == 3
+
+    def test_return_ends_trace(self):
+        fill, cache = make_fill()
+        insts = dyn_seq([(0, 3)]) + dyn_seq([(0, 1, Opcode.RET)],
+                                            start_seq=3, base_pc=0x100C)
+        insts[-1].taken = True
+        insts[-1].target = 0x2000
+        more = dyn_seq([(1, 4)], start_seq=4, base_pc=0x2000)
+        retire_all(fill, insts + more)
+        fill.flush(0)
+        assert fill.traces_built == 2
+        fill.tick(10)
+        first = cache.lines_starting_at(0x1000)[0]
+        assert first.length == 4
+
+    def test_backward_taken_branch_ends_trace(self):
+        fill, cache = make_fill()
+        insts = dyn_seq([(0, 3)]) + dyn_seq([(0, 1, Opcode.BNE)],
+                                            start_seq=3, base_pc=0x100C)
+        back = insts[-1]
+        back.taken = True
+        back.target = 0x1000  # loop back-edge
+        retire_all(fill, insts)
+        assert fill.traces_built == 1
+
+    def test_forward_taken_branch_does_not_end_trace(self):
+        fill, cache = make_fill()
+        insts = dyn_seq([(0, 3)]) + dyn_seq([(0, 1, Opcode.BNE)],
+                                            start_seq=3, base_pc=0x100C)
+        fwd = insts[-1]
+        fwd.taken = True
+        fwd.target = 0x5000  # forward
+        retire_all(fill, insts)
+        assert fill.traces_built == 0  # still pending
+
+
+class TestTraceKey:
+    def test_key_includes_internal_branch_directions(self):
+        fill, cache = make_fill()
+        insts = dyn_seq([(0, 2)]) + dyn_seq([(0, 1, Opcode.BNE)],
+                                            start_seq=2, base_pc=0x1008)
+        insts[-1].taken = True
+        insts[-1].target = 0x5000
+        insts += dyn_seq([(1, 13)], start_seq=3, base_pc=0x5000)
+        retire_all(fill, insts)
+        fill.flush(0)
+        fill.tick(10)
+        line = cache.lines_starting_at(0x1000)[0]
+        assert line.key == (0x1000, (True,))
+
+    def test_terminal_branch_direction_excluded(self):
+        fill, cache = make_fill()
+        insts = dyn_seq([(0, 15)]) + dyn_seq([(0, 1, Opcode.BNE)],
+                                             start_seq=15, base_pc=0x103C)
+        insts[-1].taken = True
+        insts[-1].target = 0x9000
+        retire_all(fill, insts)
+        fill.tick(10)
+        line = cache.lines_starting_at(0x1000)[0]
+        assert line.key == (0x1000, ())
+
+
+class TestLineContents:
+    def test_profile_fields_copied_from_dyninsts(self):
+        fill, cache = make_fill()
+        insts = dyn_seq([(0, 16)])
+        insts[3].leader_follower = LeaderFollower.LEADER
+        insts[3].chain_cluster = 2
+        retire_all(fill, insts)
+        fill.tick(10)
+        line = cache.lines_starting_at(0x1000)[0]
+        slot = [s for s in line.slots if s is not None and s.logical == 3][0]
+        assert slot.leader_follower is LeaderFollower.LEADER
+        assert slot.chain_cluster == 2
+
+    def test_install_respects_latency(self):
+        config = MachineConfig(fill_unit_latency=50)
+        fill, cache = make_fill(config)
+        retire_all(fill, dyn_seq([(0, 16)]), now=10)
+        fill.tick(20)
+        assert not cache.lines_starting_at(0x1000)
+        fill.tick(60)
+        assert cache.lines_starting_at(0x1000)
+
+    def test_strategy_dropping_instruction_raises(self):
+        class Broken(RetireTimeStrategy):
+            def reorder(self, insts):
+                slots = super().reorder(insts)
+                slots[0] = None  # drop the first instruction
+                return slots
+
+        config = MachineConfig(fill_unit_latency=0)
+        context = AssignmentContext(config, Interconnect(config))
+        fill, _ = make_fill(config, Broken(context))
+        with pytest.raises(RuntimeError):
+            retire_all(fill, dyn_seq([(0, 16)]))
+
+
+class TestMigration:
+    def test_identity_layout_never_migrates(self):
+        fill, _ = make_fill()
+        for _ in range(4):
+            retire_all(fill, dyn_seq([(0, 16)]))
+        assert fill.fill_instances == 64
+        assert fill.fill_migrations == 0
+        assert fill.migration_rate == 0.0
+
+    def test_changed_layout_counts_migrations(self):
+        class Flipper(RetireTimeStrategy):
+            def __init__(self, context):
+                super().__init__(context)
+                self.flip = False
+
+            def reorder(self, insts):
+                slots = super().reorder(insts)
+                if self.flip:
+                    slots.reverse()
+                self.flip = not self.flip
+                return slots
+
+        config = MachineConfig(fill_unit_latency=0)
+        context = AssignmentContext(config, Interconnect(config))
+        fill, _ = make_fill(config, Flipper(context))
+        retire_all(fill, dyn_seq([(0, 16)]))
+        retire_all(fill, dyn_seq([(0, 16)]))
+        # Second build reversed the layout: every instruction migrated
+        # except those whose mirrored slot is in the same cluster (none,
+        # for 16 slots over 4 clusters).
+        assert fill.fill_migrations == 16
+
+    def test_chain_migration_tracked_separately(self):
+        class Flipper(RetireTimeStrategy):
+            def __init__(self, context):
+                super().__init__(context)
+                self.flip = False
+
+            def reorder(self, insts):
+                slots = super().reorder(insts)
+                if self.flip:
+                    slots.reverse()
+                self.flip = not self.flip
+                return slots
+
+        config = MachineConfig(fill_unit_latency=0)
+        context = AssignmentContext(config, Interconnect(config))
+        fill, _ = make_fill(config, Flipper(context))
+        first = dyn_seq([(0, 16)])
+        second = dyn_seq([(0, 16)])
+        for batch in (first, second):
+            batch[5].leader_follower = LeaderFollower.FOLLOWER
+            batch[5].chain_cluster = 1
+            retire_all(fill, batch)
+        assert fill.chain_instances == 2
+        assert fill.chain_migrations == 1
+        assert fill.chain_migration_rate == 0.5
+
+    def test_reset_stats(self):
+        fill, _ = make_fill()
+        retire_all(fill, dyn_seq([(0, 16)]))
+        fill.reset_stats()
+        assert fill.fill_instances == 0
+        assert fill.traces_built == 0

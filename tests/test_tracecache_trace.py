@@ -1,0 +1,58 @@
+"""Unit tests for trace line representation."""
+
+from repro.isa import Instruction, Opcode
+from repro.isa.instruction import LeaderFollower
+from repro.tracecache.trace import TraceLine, TraceSlot
+
+
+def _slots(n, order=None):
+    order = order if order is not None else list(range(n))
+    return [
+        TraceSlot(Instruction(0x100 + 4 * logical, Opcode.ADD, 8, ()), logical)
+        for logical in order
+    ]
+
+
+def test_length_counts_filled_slots():
+    slots = _slots(3) + [None, None]
+    line = TraceLine((0x100, ()), slots, num_blocks=1)
+    assert line.length == 3
+
+
+def test_logical_order_sorts_by_logical_index():
+    slots = _slots(4, order=[2, 0, 3, 1])
+    line = TraceLine((0x100, ()), slots, num_blocks=2)
+    assert [s.logical for s in line.logical_order()] == [0, 1, 2, 3]
+
+
+def test_logical_order_skips_empty_slots():
+    slots = [None] + _slots(2, order=[1, 0]) + [None]
+    line = TraceLine((0x100, ()), slots, num_blocks=1)
+    assert [s.logical for s in line.logical_order()] == [0, 1]
+
+
+def test_slot_of_logical():
+    slots = _slots(3, order=[2, 0, 1])
+    line = TraceLine((0x100, ()), slots, num_blocks=1)
+    assert line.slot_of_logical(2) == 0
+    assert line.slot_of_logical(0) == 1
+    assert line.slot_of_logical(9) is None
+
+
+def test_start_pc_comes_from_key():
+    line = TraceLine((0xABC, (True,)), _slots(1), num_blocks=1)
+    assert line.start_pc == 0xABC
+
+
+def test_slot_defaults():
+    slot = TraceSlot(Instruction(0, Opcode.ADD, 8, ()), logical=5)
+    assert slot.chain_cluster == -1
+    assert slot.leader_follower is LeaderFollower.NONE
+
+
+def test_slot_profile_fields_mutable():
+    slot = TraceSlot(Instruction(0, Opcode.ADD, 8, ()), logical=0)
+    slot.chain_cluster = 2
+    slot.leader_follower = LeaderFollower.LEADER
+    assert slot.chain_cluster == 2
+    assert slot.leader_follower is LeaderFollower.LEADER

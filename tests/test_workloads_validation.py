@@ -1,0 +1,74 @@
+"""Tests of workload stream measurement and generator calibration."""
+
+import pytest
+
+from repro.workloads.generator import generate_program
+from repro.workloads.profiles import profile_for
+from repro.workloads.validation import measure_stream
+
+
+@pytest.fixture(scope="module")
+def gzip_stats():
+    return measure_stream(generate_program(profile_for("gzip")), 15_000)
+
+
+class TestMeasurement:
+    def test_counts(self, gzip_stats):
+        assert gzip_stats.instructions == 15_000
+        assert gzip_stats.unique_pcs > 100
+
+    def test_mix_sums_to_one(self, gzip_stats):
+        assert sum(gzip_stats.class_mix.values()) == pytest.approx(1.0)
+
+    def test_block_size_plausible(self, gzip_stats):
+        assert 3.0 < gzip_stats.mean_block_size < 10.0
+
+    def test_branch_statistics(self, gzip_stats):
+        assert 0.05 < gzip_stats.cond_branch_fraction < 0.25
+        assert 0.4 < gzip_stats.taken_fraction < 0.95
+        assert 0.0 <= gzip_stats.branch_entropy <= 1.0
+
+    def test_distance_buckets_sum_to_one(self, gzip_stats):
+        assert sum(gzip_stats.dep_distance_buckets.values()) == pytest.approx(1.0)
+
+    def test_summary_renders(self, gzip_stats):
+        text = gzip_stats.summary()
+        assert "instructions" in text and "entropy" in text
+
+    def test_deterministic(self):
+        program = generate_program(profile_for("vpr"))
+        a = measure_stream(program, 5000)
+        program2 = generate_program(profile_for("vpr"))
+        b = measure_stream(program2, 5000)
+        assert a == b
+
+
+class TestCalibration:
+    """The generator must realise the intent of its profiles."""
+
+    def test_mem_fraction_tracks_profile(self):
+        for name in ("gzip", "mcf"):
+            profile = profile_for(name)
+            stats = measure_stream(generate_program(profile), 12_000)
+            mem = stats.class_mix.get("INT_MEM", 0) + stats.class_mix.get(
+                "FP_MEM", 0)
+            # Branch/terminator overhead dilutes the body mix a bit.
+            assert profile.frac_mem * 0.5 < mem < profile.frac_mem * 1.3, name
+
+    def test_predictable_profile_has_lower_entropy(self):
+        media = measure_stream(generate_program(profile_for("adpcm_enc")),
+                               12_000)
+        hard = measure_stream(generate_program(profile_for("twolf")), 12_000)
+        assert media.branch_entropy < hard.branch_entropy
+
+    def test_near_dependencies_dominate(self):
+        stats = measure_stream(generate_program(profile_for("gzip")), 12_000)
+        near = stats.dep_distance_buckets["1-4"] + \
+            stats.dep_distance_buckets["5-16"]
+        assert near > 0.5
+
+    def test_code_footprints_ordered(self):
+        small = measure_stream(generate_program(profile_for("adpcm_enc")),
+                               12_000)
+        large = measure_stream(generate_program(profile_for("gcc")), 12_000)
+        assert large.unique_pcs > small.unique_pcs
