@@ -5,16 +5,24 @@ The rendered tables are written both to the real stdout (bypassing pytest
 capture, so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
 records them) and to ``benchmarks/results/<name>.txt``.
 
-Experiment runs are memoised in a session-scoped cache so that artifacts
-sharing the same underlying simulations (e.g. Figure 6 and Table 8) pay
-for them once.
+Simulations run through :mod:`repro.runtime`, so identical (benchmark,
+strategy, config, budget) cells are simulated once *per cache lifetime*,
+not once per test file: results persist in an on-disk content-addressed
+store (default for this suite: ``benchmarks/.cache``, override with
+``REPRO_CACHE_DIR``, disable with ``REPRO_NO_CACHE``) and parallelise
+across worker processes with ``REPRO_JOBS=N``.  The in-process ``cached``
+memo below still deduplicates whole experiment *objects* (e.g. Figure 6
+and Table 8 share one strategy comparison) within a session.
 
 Budgets: set ``REPRO_BENCH_INSTRUCTIONS`` / ``REPRO_BENCH_WARMUP`` to
-shrink or grow every run (defaults 40k/30k instructions).
+shrink or grow every run (defaults 40k/30k instructions).  Budgets are
+part of every cache key, so quick passes and full-budget runs coexist in
+the cache without poisoning each other.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 import sys
 
@@ -24,6 +32,24 @@ _RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: Session-wide memo of experiment results, keyed by arbitrary tuples.
 _CACHE = {}
+
+
+def pytest_configure(config):
+    # Keep the benchmark suite's persistent results out of ~/.cache so
+    # `rm -rf benchmarks/.cache` is a clean slate; explicit settings win.
+    os.environ.setdefault(
+        "REPRO_CACHE_DIR", str(pathlib.Path(__file__).parent / ".cache")
+    )
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    try:
+        from repro.runtime import global_cache_stats
+    except ImportError:
+        return
+    stats = global_cache_stats()
+    if stats.hits or stats.misses:
+        terminalreporter.write_line(f"repro result {stats.render()}")
 
 
 def cached(key, factory):

@@ -2,17 +2,20 @@
 """Compare every cluster assignment strategy on one benchmark.
 
 Reproduces a single row of the paper's Figure 6 plus the Table 8 metrics,
-for any benchmark in the catalog:
+for any benchmark in the catalog, running all strategies through the
+``repro.runtime`` engine — in parallel with ``--jobs``, and cached so a
+second invocation returns instantly:
 
     python examples/compare_strategies.py twolf
-    python examples/compare_strategies.py mpeg2_dec
+    python examples/compare_strategies.py mpeg2_dec --jobs 4
+    python examples/compare_strategies.py twolf --jobs auto   # one worker/CPU
 """
 
-import sys
+import argparse
 
-from repro import Simulator, StrategySpec
-from repro.workloads.generator import generate_program
-from repro.workloads.profiles import profile_for
+from repro import StrategySpec
+from repro.experiments import run_matrix
+from repro.runtime import ExperimentEngine, progress_printer
 
 STRATEGIES = (
     StrategySpec(kind="base"),
@@ -26,26 +29,31 @@ STRATEGIES = (
 
 
 def main() -> None:
-    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gzip"
-    program = generate_program(profile_for(benchmark))
-    print(f"benchmark: {benchmark}  "
-          f"(static program: {len(program.blocks)} blocks, "
-          f"{program.static_size} instructions)\n")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmark", nargs="?", default="gzip")
+    parser.add_argument("--jobs", default=None,
+                        help="worker processes ('auto' = one per CPU)")
+    args = parser.parse_args()
+
+    engine = ExperimentEngine(jobs=args.jobs, progress=progress_printer())
+    results = run_matrix(
+        [args.benchmark], STRATEGIES,
+        instructions=40_000, warmup=30_000, engine=engine,
+    )
+
+    print(f"\nbenchmark: {args.benchmark}\n")
     header = (f"{'strategy':<22} {'IPC':>6} {'speedup':>8} "
               f"{'intra-cl fwd':>13} {'fwd dist':>9}")
     print(header)
     print("-" * len(header))
-    base = None
+    base = results[(args.benchmark, "Base")]
     for spec in STRATEGIES:
-        simulator = Simulator(program, spec)
-        simulator.warmup(30_000)
-        result = simulator.run(40_000)
-        if base is None:
-            base = result
+        result = results[(args.benchmark, spec.label)]
         print(f"{spec.label:<22} {result.ipc:>6.3f} "
               f"{result.speedup_over(base):>8.3f} "
               f"{result.pct_intra_cluster_forwarding:>12.1%} "
               f"{result.avg_forward_distance:>9.2f}")
+    print(f"\n{engine.report.render()}")
 
 
 if __name__ == "__main__":

@@ -29,6 +29,8 @@ Package map:
 * :mod:`repro.core` — the cycle-level pipeline and the simulation API.
 * :mod:`repro.experiments` — reproductions of every table and figure in
   the paper's evaluation.
+* :mod:`repro.runtime` — the parallel execution engine and
+  content-addressed result cache behind ``run_matrix``.
 """
 
 from repro.assign.base import StrategySpec

@@ -4,12 +4,22 @@
 
     python -m repro list
     python -m repro simulate gzip --strategy fdrt
-    python -m repro compare twolf --csv
-    python -m repro experiment table1
+    python -m repro compare twolf --csv --jobs 4
+    python -m repro experiment table1 --jobs auto
     python -m repro utilization vpr --strategy fdrt
+    python -m repro sweep --jobs 4          # full benchmark x strategy matrix
 
 All subcommands accept ``--instructions`` / ``--warmup`` to trade accuracy
 for speed, and ``--machine`` to pick a Figure 8 machine variant.
+
+Runtime flags (see ``docs/RUNTIME.md``): ``--jobs N`` runs simulations on
+``N`` worker processes (``auto`` = one per CPU; also ``REPRO_JOBS``), and
+``--no-cache`` disables the on-disk result cache (also ``REPRO_NO_CACHE``;
+relocate it with ``REPRO_CACHE_DIR``).  ``compare``, ``experiment``, and
+``sweep`` all honor both; ``sweep`` with no parameter (or ``matrix``) runs
+the full benchmark × strategy grid with live progress and a cache-stats
+summary, while ``sweep tc`` / ``sweep hops`` keep the original
+sensitivity sweeps.
 """
 
 from __future__ import annotations
@@ -64,6 +74,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the benchmark catalog")
 
+    def jobs_arg(value):
+        if value != "auto":
+            try:
+                int(value)
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"invalid worker count {value!r} "
+                    "(expected an integer or 'auto')")
+        return value
+
+    def add_runtime(p):
+        p.add_argument("--jobs", default=None, metavar="N", type=jobs_arg,
+                       help="worker processes ('auto' = one per CPU; "
+                            "default $REPRO_JOBS or 1)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the on-disk result cache")
+
     def add_common(p):
         p.add_argument("--instructions", type=int, default=30_000,
                        help="measured instructions per run")
@@ -73,6 +100,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        default="base", help="machine variant")
         p.add_argument("--config-file", default=None,
                        help="JSON MachineConfig (overrides --machine)")
+        add_runtime(p)
 
     sim = sub.add_parser("simulate", help="simulate one benchmark")
     sim.add_argument("benchmark")
@@ -100,6 +128,7 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("artifact", choices=_EXPERIMENTS)
     exp.add_argument("--instructions", type=int, default=None)
     exp.add_argument("--warmup", type=int, default=None)
+    add_runtime(exp)
 
     energy = sub.add_parser(
         "energy", help="activity-based energy estimate for one benchmark")
@@ -109,10 +138,22 @@ def _build_parser() -> argparse.ArgumentParser:
     add_common(energy)
 
     sweep = sub.add_parser(
-        "sweep", help="sensitivity sweep (trace cache size or hop latency)")
-    sweep.add_argument("parameter", choices=("tc", "hops"))
+        "sweep",
+        help="benchmark x strategy matrix sweep (default), or a "
+             "sensitivity sweep (tc / hops)")
+    sweep.add_argument("parameter", nargs="?", default="matrix",
+                       choices=("matrix", "tc", "hops"))
+    sweep.add_argument("--benchmarks", default=None, metavar="A,B,...",
+                       help="comma-separated benchmarks "
+                            "(matrix mode; default: the paper's six)")
+    sweep.add_argument("--strategies", default=None, metavar="A,B,...",
+                       help="comma-separated strategies "
+                            "(matrix mode; default: Figure 6's five)")
+    sweep.add_argument("--machine", choices=sorted(_MACHINES),
+                       default="base", help="machine variant (matrix mode)")
     sweep.add_argument("--instructions", type=int, default=8_000)
     sweep.add_argument("--warmup", type=int, default=15_000)
+    add_runtime(sweep)
     return parser
 
 
@@ -154,16 +195,21 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+#: Strategy presentation order for ``compare`` and matrix sweeps.
+_COMPARE_ORDER = ("base", "issue", "issue4", "friendly", "fdrt")
+
+
 def _cmd_compare(args) -> int:
-    results = []
-    speedups = {}
-    base = None
-    for name in ("base", "issue", "issue4", "friendly", "fdrt"):
-        _, result = _run(args.benchmark, _STRATEGIES[name], args)
-        results.append(result)
-        if base is None:
-            base = result
-        speedups[result.strategy] = result.speedup_over(base)
+    from repro.experiments import run_matrix
+
+    specs = [_STRATEGIES[name] for name in _COMPARE_ORDER]
+    matrix = run_matrix(
+        [args.benchmark], specs, config=_machine(args),
+        instructions=args.instructions, warmup=args.warmup,
+    )
+    results = [matrix[(args.benchmark, spec.label)] for spec in specs]
+    base = results[0]
+    speedups = {r.strategy: r.speedup_over(base) for r in results}
     if args.csv:
         print(results_to_csv(results), end="")
         return 0
@@ -227,6 +273,8 @@ def _cmd_sweep(args) -> int:
         run_tc_capacity_sweep,
     )
 
+    if args.parameter == "matrix":
+        return _cmd_sweep_matrix(args)
     budgets = dict(instructions=args.instructions, warmup=args.warmup)
     if args.parameter == "tc":
         result = run_tc_capacity_sweep(**budgets)
@@ -236,9 +284,64 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_sweep_matrix(args) -> int:
+    """Full benchmark × strategy matrix with live progress + cache stats."""
+    from repro.experiments import ExperimentTable, run_matrix
+    from repro.runtime import ExperimentEngine, progress_printer
+    from repro.workloads.suites import SPECINT2000_SELECTED
+
+    benchmarks = (args.benchmarks.split(",") if args.benchmarks
+                  else list(SPECINT2000_SELECTED))
+    names = (args.strategies.split(",") if args.strategies
+             else list(_COMPARE_ORDER))
+    try:
+        specs = [_STRATEGIES[name] for name in names]
+    except KeyError as error:
+        print(f"error: unknown strategy {error} "
+              f"(choices: {', '.join(sorted(_STRATEGIES))})", file=sys.stderr)
+        return 2
+
+    engine = ExperimentEngine(progress=progress_printer())
+    matrix = run_matrix(
+        benchmarks, specs, config=_MACHINES[args.machine](),
+        instructions=args.instructions, warmup=args.warmup, engine=engine,
+    )
+
+    table = ExperimentTable(
+        f"IPC — {len(benchmarks)}x{len(specs)} matrix "
+        f"({args.instructions} instructions)",
+        ["benchmark"] + [spec.label for spec in specs],
+    )
+    for benchmark in benchmarks:
+        table.add_row(benchmark, *(
+            f"{matrix[(benchmark, spec.label)].ipc:.3f}" for spec in specs))
+    print(table.render())
+    print()
+    print(engine.report.render())
+    print(engine.cache.stats.render())
+    return 0
+
+
+def _apply_runtime(args) -> None:
+    """Install ``--jobs`` / ``--no-cache`` as process-wide defaults.
+
+    Experiment code calls ``run_matrix`` deep below the subcommand, so
+    the flags travel via :func:`repro.runtime.configure` rather than
+    through every signature.  Both keys are always (re)set, so repeated
+    in-process invocations don't leak settings into each other.
+    """
+    from repro.runtime import configure
+
+    configure(
+        jobs=getattr(args, "jobs", None),
+        cache=False if getattr(args, "no_cache", False) else None,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    _apply_runtime(args)
     handlers = {
         "list": _cmd_list,
         "simulate": _cmd_simulate,
@@ -253,7 +356,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; that's a clean exit.
         return 0
-    except KeyError as error:
+    except (KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -59,12 +59,30 @@ class SimResult:
     l1d_hit_rate: float
 
     def to_dict(self) -> Dict[str, object]:
-        """Plain-dict form (JSON-serialisable) of this result."""
+        """Plain-dict form (JSON-serialisable) of this result.
+
+        The round trip through :meth:`from_dict` is lossless (including
+        via JSON), which the runtime's result cache relies on.
+        """
         return dataclasses.asdict(self)
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SimResult":
-        """Rebuild a result from :meth:`to_dict` output."""
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Validates the field set strictly: missing or unknown keys raise
+        :class:`ValueError`, so stale or foreign payloads (e.g. cache
+        entries written by an older schema) are rejected loudly instead
+        of building a half-initialised result.
+        """
+        fields = {f.name for f in dataclasses.fields(cls)}
+        missing = fields - set(data)
+        unknown = set(data) - fields
+        if missing or unknown:
+            raise ValueError(
+                f"SimResult payload mismatch: missing {sorted(missing)}, "
+                f"unknown {sorted(unknown)}"
+            )
         return cls(**data)
 
     def speedup_over(self, base: "SimResult") -> float:

@@ -3,16 +3,22 @@
 Budgets can be overridden globally through the environment variables
 ``REPRO_BENCH_INSTRUCTIONS`` and ``REPRO_BENCH_WARMUP`` (used by the
 pytest-benchmark harness so CI can run quick passes).
+
+Every (benchmark, strategy) cell goes through
+:class:`repro.runtime.ExperimentEngine`, so all experiments inherit
+process-pool parallelism (``REPRO_JOBS`` / ``--jobs``) and the on-disk
+result cache (``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``) — see
+``docs/RUNTIME.md``.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.assign.base import StrategySpec
 from repro.cluster.config import MachineConfig
-from repro.core.simulator import SimResult, simulate
+from repro.core.simulator import SimResult
 
 
 def _env_int(name: str, default: int) -> int:
@@ -43,22 +49,38 @@ def run_matrix(
     config: Optional[MachineConfig] = None,
     instructions: Optional[int] = None,
     warmup: Optional[int] = None,
+    *,
+    jobs: Union[int, str, None] = None,
+    cache: Union[bool, None, object] = None,
+    seed: Optional[int] = None,
+    progress=None,
+    engine=None,
 ) -> Dict[Tuple[str, str], SimResult]:
     """Simulate every (benchmark, strategy) combination.
 
-    Returns results keyed by ``(benchmark, spec.label)``.
+    Returns results keyed by ``(benchmark, spec.label)``, in
+    benchmark-major order, identical to a sequential loop regardless of
+    the worker count.
+
+    ``jobs``, ``cache``, ``seed``, and ``progress`` forward to
+    :class:`repro.runtime.ExperimentEngine` (defaults resolve from
+    ``repro.runtime.configure`` and the ``REPRO_*`` environment);
+    ``engine`` substitutes a pre-built engine, e.g. to read its
+    :attr:`~repro.runtime.EngineReport` afterwards.
     """
+    from repro.runtime import ExperimentEngine, matrix_jobs
+
     instructions = instructions or DEFAULT_INSTRUCTIONS
     warmup = warmup if warmup is not None else DEFAULT_WARMUP
     specs = list(specs)
-    results: Dict[Tuple[str, str], SimResult] = {}
-    for benchmark in benchmarks:
-        for spec in specs:
-            results[(benchmark, spec.label)] = simulate(
-                benchmark, spec, config=config,
-                instructions=instructions, warmup=warmup,
-            )
-    return results
+    config = config if config is not None else MachineConfig()
+    grid = matrix_jobs(
+        list(benchmarks), specs, config, instructions, warmup, seed=seed,
+    )
+    if engine is None:
+        engine = ExperimentEngine(jobs=jobs, cache=cache, progress=progress)
+    results = engine.run(list(grid.values()))
+    return dict(zip(grid.keys(), results))
 
 
 class ExperimentTable:

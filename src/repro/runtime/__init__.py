@@ -1,0 +1,60 @@
+"""repro.runtime — parallel experiment execution with result caching.
+
+The runtime turns the repo's dominant cost — re-simulating identical
+(benchmark, strategy, config) cells one at a time — into a scheduled,
+cached workload:
+
+* :class:`SimJob` — canonical, content-hashed description of one
+  simulation (:mod:`repro.runtime.job`);
+* :class:`ResultCache` — on-disk JSON store of
+  :class:`~repro.core.simulator.SimResult`, keyed by job hash and
+  schema version, with atomic writes (:mod:`repro.runtime.cache`);
+* :class:`ExperimentEngine` — process-pool scheduler with bounded
+  retry, per-job timeout, and inline fallback
+  (:mod:`repro.runtime.executor`);
+* :class:`EngineReport` / :func:`progress_printer` — timing, hit/miss
+  counters, and live progress (:mod:`repro.runtime.observe`).
+
+``run_matrix`` in :mod:`repro.experiments.runner` routes every cell
+through this engine, so all experiments, benchmarks, and examples
+inherit parallelism and caching.  See ``docs/RUNTIME.md``.
+
+Quickstart::
+
+    from repro.runtime import ExperimentEngine, SimJob
+    from repro import MachineConfig, StrategySpec
+
+    engine = ExperimentEngine(jobs=4)
+    jobs = [SimJob("gzip", StrategySpec(kind=k), MachineConfig(),
+                   instructions=20_000, warmup=10_000)
+            for k in ("base", "fdrt")]
+    base, fdrt = engine.run(jobs)
+    print(fdrt.speedup_over(base), engine.report.render())
+"""
+
+from repro.runtime.cache import CacheStats, ResultCache, global_cache_stats
+from repro.runtime.executor import (
+    ExperimentEngine,
+    JobFailedError,
+    matrix_jobs,
+    run_jobs,
+)
+from repro.runtime.job import JOB_SCHEMA_VERSION, SimJob
+from repro.runtime.observe import EngineReport, JobEvent, progress_printer
+from repro.runtime.settings import configure
+
+__all__ = [
+    "CacheStats",
+    "EngineReport",
+    "ExperimentEngine",
+    "JOB_SCHEMA_VERSION",
+    "JobEvent",
+    "JobFailedError",
+    "ResultCache",
+    "SimJob",
+    "configure",
+    "global_cache_stats",
+    "matrix_jobs",
+    "progress_printer",
+    "run_jobs",
+]

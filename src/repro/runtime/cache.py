@@ -1,0 +1,143 @@
+"""On-disk, content-addressed store of simulation results.
+
+Layout (under the root resolved by
+:func:`repro.runtime.settings.resolve_cache_dir`)::
+
+    <root>/v<JOB_SCHEMA_VERSION>/<key[:2]>/<key>.json
+
+Each entry is a JSON document ``{"schema", "job", "result", "elapsed"}``
+where ``job`` is the producing job's canonical form (kept for
+debuggability — the key alone addresses the entry) and ``result`` is the
+:class:`~repro.core.simulator.SimResult` in ``to_dict`` form.
+
+Writes are atomic: the payload is written to a temporary file in the
+same directory and ``os.replace``d into place, so concurrent writers —
+pool workers, parallel pytest sessions, several CLIs — can never leave a
+torn entry behind.  Reads treat *any* malformed entry (truncated JSON,
+schema drift, missing fields) as a miss: the entry is deleted
+best-effort and the job is re-executed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from typing import Optional, Union
+
+from repro.core.simulator import SimResult
+from repro.runtime.job import JOB_SCHEMA_VERSION, SimJob
+from repro.runtime.settings import resolve_cache_dir, resolve_cache_enabled
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss/store counters for one cache (and the process aggregate)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+    def render(self) -> str:
+        looked = self.hits + self.misses
+        rate = self.hits / looked if looked else 0.0
+        return (
+            f"cache: {self.hits} hits / {looked} lookups ({rate:.0%}), "
+            f"{self.stores} stores, {self.corrupt} corrupt entries dropped"
+        )
+
+
+#: Process-wide aggregate over every ResultCache instance.
+_GLOBAL_STATS = CacheStats()
+
+
+def global_cache_stats() -> CacheStats:
+    """The process-wide aggregate cache counters."""
+    return _GLOBAL_STATS
+
+
+class ResultCache:
+    """Persistent :class:`SimResult` store keyed by job content hash."""
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike, None] = None,
+        enabled: Optional[bool] = None,
+    ) -> None:
+        self.enabled = resolve_cache_enabled(enabled)
+        self.root = resolve_cache_dir(root)
+        self.stats = CacheStats()
+
+    def path_for(self, job: SimJob) -> str:
+        """Filesystem path of ``job``'s cache entry."""
+        key = job.key
+        return os.path.join(
+            self.root, f"v{JOB_SCHEMA_VERSION}", key[:2], f"{key}.json"
+        )
+
+    def load(self, job: SimJob) -> Optional[SimResult]:
+        """Return the cached result for ``job``, or ``None`` on a miss.
+
+        Corrupted entries are dropped and reported as misses — the cache
+        never raises on bad on-disk state.
+        """
+        if not self.enabled or not job.cacheable:
+            return None
+        path = self.path_for(job)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload["schema"] != JOB_SCHEMA_VERSION:
+                raise ValueError(f"schema {payload['schema']!r}")
+            result = SimResult.from_dict(payload["result"])
+        except FileNotFoundError:
+            self._count("misses")
+            return None
+        except Exception:
+            # Truncated write from a killed process, schema drift, or a
+            # hand-edited file: treat as a miss and clear the entry.
+            self._count("corrupt")
+            self._count("misses")
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self._count("hits")
+        return result
+
+    def store(
+        self, job: SimJob, result: SimResult, elapsed: Optional[float] = None,
+    ) -> None:
+        """Atomically persist ``result`` under ``job``'s key."""
+        if not self.enabled or not job.cacheable:
+            return
+        path = self.path_for(job)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        payload = {
+            "schema": JOB_SCHEMA_VERSION,
+            "job": job.canonical(),
+            "result": result.to_dict(),
+            "elapsed": elapsed,
+        }
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+        self._count("stores")
+
+    def _count(self, field: str) -> None:
+        setattr(self.stats, field, getattr(self.stats, field) + 1)
+        setattr(_GLOBAL_STATS, field, getattr(_GLOBAL_STATS, field) + 1)

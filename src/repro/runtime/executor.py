@@ -1,0 +1,242 @@
+"""The scheduler: runs :class:`SimJob` batches, in parallel, through cache.
+
+:class:`ExperimentEngine` is the one entry point.  For each submitted
+job it first consults the :class:`~repro.runtime.cache.ResultCache`;
+misses are executed either inline (worker count 1, or when no process
+pool can be created on this platform) or on a
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Failure semantics:
+
+* an exception raised *by the simulation itself* is deterministic and
+  propagates immediately — retrying cannot help;
+* infrastructure failures — a worker process dying
+  (:class:`BrokenProcessPool`) or a per-job timeout — are retried on a
+  fresh pool up to ``retries`` times, then raise :class:`JobFailedError`;
+* if the pool cannot be created at all (or jobs cannot be pickled), the
+  engine silently degrades to inline execution — results are identical,
+  only slower.
+
+Results are returned in submission order regardless of completion
+order, so parallel runs are byte-identical to sequential ones.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.simulator import SimResult
+from repro.runtime.cache import ResultCache
+from repro.runtime.job import SimJob
+from repro.runtime.observe import EngineReport, JobEvent, ProgressCallback
+from repro.runtime.settings import resolve_jobs, resolve_timeout
+
+#: Re-exported so tests (and exotic callers) can substitute the pool class.
+ProcessPoolExecutor = concurrent.futures.ProcessPoolExecutor
+
+
+class JobFailedError(RuntimeError):
+    """A job kept failing on infrastructure errors after bounded retries."""
+
+
+def _run_job(job: SimJob) -> SimResult:
+    """Module-level worker entry point (must be picklable by name)."""
+    return job.run()
+
+
+class ExperimentEngine:
+    """Parallel, cached executor for batches of simulation jobs."""
+
+    def __init__(
+        self,
+        jobs: Union[int, str, None] = None,
+        cache: Union[ResultCache, bool, None] = None,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        self.workers = resolve_jobs(jobs)
+        if isinstance(cache, ResultCache):
+            self.cache = cache
+        elif isinstance(cache, bool):
+            self.cache = ResultCache(enabled=cache)
+        else:
+            self.cache = ResultCache()
+        self.timeout = resolve_timeout(timeout)
+        self.retries = retries
+        self.progress = progress
+        #: Report of the most recent :meth:`run` call.
+        self.report = EngineReport()
+
+    # ------------------------------------------------------------------
+    # Public API
+
+    def run(self, jobs: Sequence[SimJob]) -> List[SimResult]:
+        """Execute ``jobs``, returning results in submission order."""
+        jobs = list(jobs)
+        report = EngineReport(total=len(jobs), workers=self.workers)
+        self.report = report
+        started = time.perf_counter()
+        results: List[Optional[SimResult]] = [None] * len(jobs)
+
+        pending: List[Tuple[int, SimJob]] = []
+        for index, job in enumerate(jobs):
+            cached = self.cache.load(job)
+            if cached is not None:
+                results[index] = cached
+                report.cache_hits += 1
+                self._emit(report, index, job, "hit", 0.0, "cache")
+            else:
+                pending.append((index, job))
+
+        if pending:
+            if self.workers <= 1 or len(pending) == 1:
+                self._run_inline(pending, results, report)
+            else:
+                self._run_pool(pending, results, report)
+
+        report.elapsed = time.perf_counter() - started
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Inline path
+
+    def _run_inline(self, pending, results, report) -> None:
+        report.inline = True
+        for index, job in pending:
+            t0 = time.perf_counter()
+            result = _run_job(job)
+            self._complete(
+                index, job, result, time.perf_counter() - t0,
+                results, report, "inline",
+            )
+
+    # ------------------------------------------------------------------
+    # Pool path
+
+    def _run_pool(self, pending, results, report) -> None:
+        remaining = pending
+        attempt = 0
+        while remaining:
+            pool = self._make_pool(len(remaining))
+            if pool is None:
+                self._run_inline(remaining, results, report)
+                return
+            try:
+                submissions = [
+                    (index, job, pool.submit(_run_job, job))
+                    for index, job in remaining
+                ]
+            except Exception:
+                # Unpicklable job (ad-hoc Program with exotic payload):
+                # the pool cannot help; degrade to inline.
+                pool.shutdown(wait=False)
+                self._run_inline(remaining, results, report)
+                return
+
+            failed: List[Tuple[int, SimJob]] = []
+            infrastructure_broken = False
+            for index, job, future in submissions:
+                t0 = time.perf_counter()
+                try:
+                    result = future.result(timeout=self.timeout)
+                except concurrent.futures.TimeoutError:
+                    # The worker may still be wedged on this job; the
+                    # whole pool is recycled below.
+                    future.cancel()
+                    infrastructure_broken = True
+                    failed.append((index, job))
+                    report.retried += 1
+                    self._emit(report, index, job, "retry",
+                               time.perf_counter() - t0, "pool")
+                except BrokenProcessPool:
+                    infrastructure_broken = True
+                    failed.append((index, job))
+                    report.retried += 1
+                    self._emit(report, index, job, "retry",
+                               time.perf_counter() - t0, "pool")
+                except Exception:
+                    # The simulation itself raised: deterministic,
+                    # retrying is pointless — propagate.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+                else:
+                    self._complete(
+                        index, job, result, time.perf_counter() - t0,
+                        results, report, "pool",
+                    )
+            pool.shutdown(wait=False, cancel_futures=infrastructure_broken)
+
+            if not failed:
+                return
+            attempt += 1
+            if attempt > self.retries:
+                raise JobFailedError(
+                    f"{len(failed)} job(s) still failing after "
+                    f"{attempt} attempt(s); first: {failed[0][1].label}"
+                )
+            remaining = failed
+
+    def _make_pool(self, pending_count: int):
+        try:
+            return ProcessPoolExecutor(
+                max_workers=min(self.workers, pending_count)
+            )
+        except Exception:
+            # Platforms without working multiprocessing primitives
+            # (e.g. no /dev/shm): fall back to inline execution.
+            return None
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+
+    def _complete(
+        self, index, job, result, elapsed, results, report, source,
+    ) -> None:
+        self.cache.store(job, result, elapsed=elapsed)
+        results[index] = result
+        report.executed += 1
+        report.job_seconds.append(elapsed)
+        self._emit(report, index, job, "done", elapsed, source)
+
+    def _emit(self, report, index, job, status, elapsed, source) -> None:
+        if self.progress is None:
+            return
+        completed = report.cache_hits + report.executed
+        self.progress(JobEvent(
+            index=index, total=report.total, job=job, status=status,
+            elapsed=elapsed, completed=completed, source=source,
+        ))
+
+
+def run_jobs(
+    jobs: Sequence[SimJob],
+    engine: Optional[ExperimentEngine] = None,
+    **engine_options,
+) -> List[SimResult]:
+    """Convenience wrapper: run ``jobs`` on ``engine`` (or a fresh one)."""
+    engine = engine if engine is not None else ExperimentEngine(**engine_options)
+    return engine.run(jobs)
+
+
+def matrix_jobs(
+    benchmarks: Sequence[Union[str, "object"]],
+    specs: Sequence,
+    config,
+    instructions: int,
+    warmup: int,
+    seed: Optional[int] = None,
+) -> "Dict[Tuple[str, str], SimJob]":
+    """Build the benchmark-major job grid ``run_matrix`` executes."""
+    grid = {}
+    for benchmark in benchmarks:
+        for spec in specs:
+            name = benchmark if isinstance(benchmark, str) else benchmark.name
+            grid[(name, spec.label)] = SimJob(
+                benchmark=benchmark, spec=spec, config=config,
+                instructions=instructions, warmup=warmup, seed=seed,
+            )
+    return grid

@@ -1,0 +1,96 @@
+"""The unit of schedulable work: one fully-specified simulation.
+
+A :class:`SimJob` pins down everything that determines a simulation's
+outcome — benchmark, strategy, machine configuration, instruction
+budgets, and seed.  Because workload generation and the pipeline are
+fully deterministic given those inputs, two jobs with equal canonical
+forms produce bit-identical :class:`~repro.core.simulator.SimResult`
+objects, which is what makes content-addressed caching sound.
+
+``JOB_SCHEMA_VERSION`` is baked into every key: bump it whenever the
+canonical serialisation, the simulator's statistics, or anything else
+that could silently change results across versions changes, and every
+stale cache entry becomes an automatic miss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Optional, Union
+
+from repro.assign.base import StrategySpec
+from repro.cluster.config import MachineConfig
+from repro.core.simulator import SimResult, simulate
+from repro.workloads.program import Program
+
+#: Bump on any change that invalidates previously cached results.
+JOB_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class SimJob:
+    """Canonical description of one (benchmark, strategy, config) cell."""
+
+    benchmark: Union[str, Program]
+    spec: StrategySpec
+    config: MachineConfig
+    instructions: int
+    warmup: int
+    seed: Optional[int] = None
+
+    @property
+    def cacheable(self) -> bool:
+        """Only catalog benchmarks (by name) have a stable identity.
+
+        Ad-hoc :class:`Program` objects execute fine but bypass the
+        result cache: their contents are not part of the key.
+        """
+        return isinstance(self.benchmark, str)
+
+    @property
+    def label(self) -> str:
+        """Human-readable ``benchmark × strategy`` tag for progress output."""
+        name = self.benchmark if self.cacheable else self.benchmark.name
+        return f"{name} × {self.spec.label}"
+
+    def canonical(self) -> dict:
+        """Stable, JSON-serialisable form of every result-determining field.
+
+        Note ``StrategySpec.static_mapping`` is included even though the
+        spec excludes it from equality: different mappings yield
+        different results, so they must yield different keys.
+        """
+        if not self.cacheable:
+            raise ValueError(
+                "ad-hoc Program jobs have no canonical form (not cacheable)"
+            )
+        return {
+            "schema": JOB_SCHEMA_VERSION,
+            "benchmark": self.benchmark,
+            "spec": dataclasses.asdict(self.spec),
+            "config": dataclasses.asdict(self.config),
+            "instructions": int(self.instructions),
+            "warmup": int(self.warmup),
+            "seed": self.seed,
+        }
+
+    @property
+    def key(self) -> str:
+        """Content hash of :meth:`canonical` (hex SHA-256)."""
+        payload = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def run(self) -> SimResult:
+        """Execute the simulation described by this job."""
+        return simulate(
+            self.benchmark,
+            self.spec,
+            config=self.config,
+            instructions=self.instructions,
+            warmup=self.warmup,
+            seed=self.seed,
+        )

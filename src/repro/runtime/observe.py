@@ -1,0 +1,89 @@
+"""Observability for the execution engine: per-job events and run reports.
+
+The engine emits one :class:`JobEvent` per completed cell (cache hit,
+pool/inline completion, or retry) to an optional progress callback, and
+accumulates an :class:`EngineReport` per :meth:`ExperimentEngine.run`
+call.  :func:`progress_printer` is the CLI's default callback: a live
+``[ 3/18] gzip × FDRT  done  1.4s`` line per event on stderr.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+from typing import Callable, List, Optional, TextIO
+
+from repro.runtime.job import SimJob
+
+#: Event statuses, in the order a job can experience them.
+STATUSES = ("hit", "retry", "done")
+
+
+@dataclasses.dataclass(frozen=True)
+class JobEvent:
+    """One progress notification from the engine."""
+
+    index: int          #: position of the job in the submitted sequence
+    total: int          #: total jobs in this run
+    job: SimJob
+    status: str         #: one of :data:`STATUSES`
+    elapsed: float      #: seconds spent on this attempt (0 for hits)
+    completed: int      #: jobs finished so far (hits + executions)
+    source: str         #: 'cache', 'inline', or 'pool'
+
+
+ProgressCallback = Callable[[JobEvent], None]
+
+
+@dataclasses.dataclass
+class EngineReport:
+    """Aggregate statistics of one engine run."""
+
+    total: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    retried: int = 0
+    inline: bool = False
+    workers: int = 1
+    elapsed: float = 0.0
+    #: Per-executed-job wall-clock seconds, in completion order.
+    job_seconds: List[float] = dataclasses.field(default_factory=list)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+    def render(self) -> str:
+        """One-paragraph human-readable summary."""
+        mode = "inline" if self.inline or self.workers <= 1 else (
+            f"{self.workers} workers")
+        lines = [
+            f"{self.total} jobs in {self.elapsed:.2f}s ({mode}): "
+            f"{self.cache_hits} cache hits ({self.hit_rate:.0%}), "
+            f"{self.executed} executed, {self.retried} retried",
+        ]
+        if self.job_seconds:
+            mean = sum(self.job_seconds) / len(self.job_seconds)
+            lines.append(
+                f"per-job time: mean {mean:.2f}s, "
+                f"max {max(self.job_seconds):.2f}s"
+            )
+        return "\n".join(lines)
+
+
+def progress_printer(stream: Optional[TextIO] = None) -> ProgressCallback:
+    """Build a callback that prints one live progress line per event."""
+    out = stream if stream is not None else sys.stderr
+
+    def _print(event: JobEvent) -> None:
+        width = len(str(event.total))
+        status = {"hit": "cached", "done": "done", "retry": "retry"}.get(
+            event.status, event.status)
+        timing = "" if event.status == "hit" else f"  {event.elapsed:.1f}s"
+        out.write(
+            f"[{event.completed:>{width}}/{event.total}] "
+            f"{event.job.label:<36} {status}{timing}\n"
+        )
+        out.flush()
+
+    return _print

@@ -1,0 +1,95 @@
+"""Process-wide runtime defaults and their environment fallbacks.
+
+Resolution order for every knob is *explicit argument* >
+:func:`configure` override > environment variable > built-in default.
+The CLI's ``--jobs`` / ``--no-cache`` flags call :func:`configure` so
+that experiment code deep below ``run_matrix`` inherits them without
+threading parameters through every call site.
+
+Environment variables:
+
+``REPRO_JOBS``
+    Worker-process count for the executor (``auto`` or ``0`` = one per
+    CPU).  Default ``1`` (inline execution, no pool).
+``REPRO_CACHE_DIR``
+    Result-cache root directory.  Default ``~/.cache/repro``.
+``REPRO_NO_CACHE``
+    Any non-empty value disables the result cache entirely.
+``REPRO_JOB_TIMEOUT``
+    Per-job timeout in seconds (float).  Default: no timeout.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+_UNSET = object()
+
+#: :func:`configure` overrides; ``None`` means "not configured".
+_configured = {"jobs": None, "cache": None}
+
+
+def configure(jobs=_UNSET, cache=_UNSET) -> None:
+    """Set process-wide runtime defaults.
+
+    ``jobs`` is a worker count (int, or ``'auto'`` for one per CPU);
+    ``cache`` is a bool enabling/disabling the result cache.  Pass
+    ``None`` to clear an override back to environment resolution.
+    """
+    if jobs is not _UNSET:
+        _configured["jobs"] = jobs
+    if cache is not _UNSET:
+        _configured["cache"] = cache
+
+
+def configured_jobs():
+    return _configured["jobs"]
+
+
+def configured_cache() -> Optional[bool]:
+    return _configured["cache"]
+
+
+def resolve_jobs(explicit: Union[int, str, None] = None) -> int:
+    """Resolve a worker count from argument, configuration, or env."""
+    value = explicit
+    if value is None:
+        value = _configured["jobs"]
+    if value is None:
+        value = os.environ.get("REPRO_JOBS") or 1
+    if value in ("auto", "0", 0):
+        return os.cpu_count() or 1
+    try:
+        return max(1, int(value))
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid worker count {value!r}: expected an integer or 'auto'"
+        ) from None
+
+
+def resolve_cache_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve whether the result cache is enabled."""
+    if explicit is not None:
+        return explicit
+    if _configured["cache"] is not None:
+        return bool(_configured["cache"])
+    return not os.environ.get("REPRO_NO_CACHE")
+
+
+def resolve_cache_dir(explicit: Union[str, os.PathLike, None] = None) -> str:
+    """Resolve the cache root directory."""
+    if explicit is not None:
+        return os.fspath(explicit)
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def resolve_timeout(explicit: Optional[float] = None) -> Optional[float]:
+    """Resolve the per-job timeout in seconds (``None`` = unlimited)."""
+    if explicit is not None:
+        return explicit
+    env = os.environ.get("REPRO_JOB_TIMEOUT")
+    return float(env) if env else None

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import pytest
 
 from repro.assign.base import AssignmentContext
@@ -10,6 +13,17 @@ from repro.cluster.interconnect import Interconnect
 from repro.isa import DynInst, Instruction, Opcode, int_reg
 from repro.workloads.generator import generate_program
 from repro.workloads.profiles import WorkloadProfile
+
+
+def pytest_configure(config):
+    # Experiment helpers route simulations through repro.runtime, whose
+    # result cache defaults to ~/.cache/repro.  A unit run must neither
+    # read results persisted by an older checkout nor pollute the user's
+    # real cache with tiny-budget runs, so each session gets a throwaway
+    # cache directory unless the caller explicitly pinned one.
+    os.environ.setdefault(
+        "REPRO_CACHE_DIR", tempfile.mkdtemp(prefix="repro-test-cache-")
+    )
 
 
 @pytest.fixture

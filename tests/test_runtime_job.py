@@ -1,0 +1,87 @@
+"""Tests of the SimJob content hash: stability and invalidation."""
+
+import pytest
+
+from repro.assign.base import StrategySpec
+from repro.cluster.config import MachineConfig
+from repro.runtime import JOB_SCHEMA_VERSION, SimJob
+from repro.runtime import job as job_module
+from repro.workloads.generator import generate_program
+from repro.workloads.profiles import profile_for
+
+
+def make_job(**overrides):
+    fields = dict(
+        benchmark="gzip",
+        spec=StrategySpec(kind="fdrt"),
+        config=MachineConfig(),
+        instructions=2_000,
+        warmup=1_000,
+        seed=None,
+    )
+    fields.update(overrides)
+    return SimJob(**fields)
+
+
+class TestKeyStability:
+    def test_equal_but_distinct_instances_share_a_key(self):
+        a = make_job(spec=StrategySpec(kind="fdrt"), config=MachineConfig())
+        b = make_job(spec=StrategySpec(kind="fdrt"), config=MachineConfig())
+        assert a is not b and a.spec is not b.spec
+        assert a.key == b.key
+
+    def test_key_is_hex_sha256(self):
+        key = make_job().key
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_key_is_deterministic_across_calls(self):
+        job = make_job()
+        assert job.key == job.key
+
+
+class TestKeyInvalidation:
+    @pytest.mark.parametrize("overrides", [
+        dict(benchmark="bzip2"),
+        dict(instructions=2_001),
+        dict(warmup=999),
+        dict(seed=7),
+        dict(spec=StrategySpec(kind="fdrt", pinning=False)),
+        dict(spec=StrategySpec(kind="friendly")),
+        dict(spec=StrategySpec(kind="fdrt", chain_confidence=3)),
+        dict(config=MachineConfig(hop_latency=1)),
+        dict(config=MachineConfig(interconnect="ring")),
+        dict(config=MachineConfig(tc_partial_matching=True)),
+    ], ids=lambda o: next(iter(o)))
+    def test_any_field_change_changes_the_key(self, overrides):
+        assert make_job().key != make_job(**overrides).key
+
+    def test_static_mapping_is_keyed_despite_spec_equality(self):
+        # StrategySpec excludes static_mapping from __eq__, but different
+        # mappings produce different results, so keys must differ.
+        spec_a = StrategySpec(kind="static", static_mapping={0: 0})
+        spec_b = StrategySpec(kind="static", static_mapping={0: 1})
+        assert spec_a == spec_b
+        assert make_job(spec=spec_a).key != make_job(spec=spec_b).key
+
+    def test_schema_version_is_part_of_the_key(self, monkeypatch):
+        before = make_job().key
+        monkeypatch.setattr(job_module, "JOB_SCHEMA_VERSION",
+                            JOB_SCHEMA_VERSION + 1)
+        assert make_job().key != before
+
+
+class TestAdHocPrograms:
+    def test_program_jobs_are_not_cacheable(self):
+        program = generate_program(profile_for("gzip"))
+        job = make_job(benchmark=program)
+        assert not job.cacheable
+        with pytest.raises(ValueError):
+            job.canonical()
+        assert "gzip" in job.label
+
+    def test_named_jobs_are_cacheable(self):
+        job = make_job()
+        assert job.cacheable
+        assert job.canonical()["schema"] == JOB_SCHEMA_VERSION
+        assert "gzip" in job.label and "FDRT" in job.label
