@@ -31,6 +31,9 @@ Package map:
   the paper's evaluation.
 * :mod:`repro.runtime` — the parallel execution engine and
   content-addressed result cache behind ``run_matrix``.
+* :mod:`repro.obs` — the observability layer: metrics registry,
+  cycle-level pipeline tracing (Chrome trace-event / Perfetto), and
+  machine-readable run manifests.
 """
 
 from repro.assign.base import StrategySpec

@@ -20,6 +20,14 @@ relocate it with ``REPRO_CACHE_DIR``).  ``compare``, ``experiment``, and
 the full benchmark × strategy grid with live progress and a cache-stats
 summary, while ``sweep tc`` / ``sweep hops`` keep the original
 sensitivity sweeps.
+
+Observability (see ``docs/OBSERVABILITY.md``): ``repro trace`` writes a
+Chrome trace-event JSON of one simulation (open it in
+https://ui.perfetto.dev), ``--telemetry-dir DIR`` (also
+``REPRO_TELEMETRY_DIR``) makes every engine run write structured JSONL
+event logs plus a ``manifest.json`` run manifest, and
+``sweep --report-json PATH`` dumps the engine report and cache counters
+as machine-readable JSON (``-`` = stdout).
 """
 
 from __future__ import annotations
@@ -90,6 +98,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "default $REPRO_JOBS or 1)")
         p.add_argument("--no-cache", action="store_true",
                        help="disable the on-disk result cache")
+        p.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                       help="write engine run telemetry (events.jsonl + "
+                            "manifest.json) under DIR "
+                            "(default $REPRO_TELEMETRY_DIR or off)")
 
     def add_common(p):
         p.add_argument("--instructions", type=int, default=30_000,
@@ -115,6 +127,20 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_parser.add_argument("benchmark")
     cmp_parser.add_argument("--csv", action="store_true")
     add_common(cmp_parser)
+
+    trace = sub.add_parser(
+        "trace",
+        help="record a Chrome trace-event JSON of one simulation "
+             "(view in Perfetto)")
+    trace.add_argument("benchmark")
+    trace.add_argument("--strategy", choices=sorted(_STRATEGIES),
+                       default="fdrt")
+    trace.add_argument("--out", default="trace.json", metavar="PATH",
+                       help="output trace file (default trace.json)")
+    trace.add_argument("--events", type=int, default=200_000, metavar="N",
+                       help="ring-buffer capacity: keep the newest N "
+                            "events (default 200000)")
+    add_common(trace)
 
     util = sub.add_parser(
         "utilization", help="cluster/unit utilization report")
@@ -153,6 +179,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        default="base", help="machine variant (matrix mode)")
     sweep.add_argument("--instructions", type=int, default=8_000)
     sweep.add_argument("--warmup", type=int, default=15_000)
+    sweep.add_argument("--report-json", default=None, metavar="PATH",
+                       help="write the engine report + cache counters as "
+                            "JSON to PATH ('-' = stdout; matrix mode)")
     add_runtime(sweep)
     return parser
 
@@ -215,6 +244,26 @@ def _cmd_compare(args) -> int:
         return 0
     print(bar_chart(speedups, title=f"speedup over base — {args.benchmark}",
                     baseline=1.0))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import CycleTracer
+
+    spec = _STRATEGIES[args.strategy]
+    simulator = Simulator(args.benchmark, spec, config=_machine(args))
+    if args.warmup:
+        simulator.warmup(args.warmup)
+    tracer = CycleTracer(capacity=args.events)
+    with tracer.attach(simulator.pipeline):
+        result = simulator.run(args.instructions)
+    tracer.write(args.out)
+    print(f"wrote {args.out}: {len(tracer.events)} events "
+          f"({tracer.dropped} dropped by the ring buffer), "
+          f"{result.retired} instructions over {result.cycles} cycles")
+    for lane, count in sorted(tracer.lane_counts().items()):
+        print(f"  {lane:<12} {count:>8} events")
+    print("open in https://ui.perfetto.dev (1 ts = 1 cycle)")
     return 0
 
 
@@ -319,6 +368,21 @@ def _cmd_sweep_matrix(args) -> int:
     print()
     print(engine.report.render())
     print(engine.cache.stats.render())
+    if engine.telemetry is not None:
+        print(f"telemetry: {engine.telemetry.manifest_path}")
+    if args.report_json:
+        import json
+
+        payload = json.dumps(
+            {"report": engine.report.to_dict(),
+             "cache": engine.cache.stats.to_dict()},
+            indent=2, sort_keys=True,
+        )
+        if args.report_json == "-":
+            print(payload)
+        else:
+            with open(args.report_json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
     return 0
 
 
@@ -335,6 +399,7 @@ def _apply_runtime(args) -> None:
     configure(
         jobs=getattr(args, "jobs", None),
         cache=False if getattr(args, "no_cache", False) else None,
+        telemetry_dir=getattr(args, "telemetry_dir", None),
     )
 
 
@@ -346,6 +411,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": _cmd_list,
         "simulate": _cmd_simulate,
         "compare": _cmd_compare,
+        "trace": _cmd_trace,
         "utilization": _cmd_utilization,
         "experiment": _cmd_experiment,
         "energy": _cmd_energy,

@@ -76,6 +76,13 @@ class LifetimeRecorder:
         """Stop recording and restore the fill unit hook."""
         self._pipeline.fill_unit.retire = self._original
 
+    def __enter__(self) -> "LifetimeRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        # Restore the hook even when the traced run raises mid-window.
+        self.detach()
+
     def diagram(self, max_rows: int = 20, width: int = 64) -> str:
         """Text pipeline diagram of the recorded window."""
         rows = self.records[:max_rows]
@@ -164,3 +171,16 @@ class StallAttributor:
         for category in STALL_CATEGORIES:
             lines.append(f"  {category:<15} {breakdown[category]:.1%}")
         return "\n".join(lines)
+
+    def publish(self, registry, prefix: str = "stall") -> None:
+        """Publish the CPI stack into a :class:`repro.obs.MetricsRegistry`
+        (absolute cycle counts plus fractions; :meth:`breakdown` keeps
+        its existing shape)."""
+        breakdown = self.breakdown()
+        for category in STALL_CATEGORIES:
+            registry.counter(
+                f"{prefix}.cycles", category=category,
+            ).inc(self.counts.get(category, 0))
+            registry.gauge(
+                f"{prefix}.fraction", category=category,
+            ).set(breakdown[category])

@@ -102,6 +102,10 @@ class Pipeline:
             for i in range(config.num_clusters)
         ]
         self.regfile = RegisterFile()
+        #: Optional :class:`repro.obs.tracer.PipelineObserver`.  ``None``
+        #: (the default) keeps the hot paths at one attribute test per
+        #: event; attach via ``observer.attach(pipeline)``.
+        self.observer = None
         self.rob: Deque[DynInst] = deque()
         self.frontend: Deque[Tuple[int, DynInst]] = deque()
         self._pending_stores: List[Tuple[int, DynInst]] = []
@@ -178,6 +182,7 @@ class Pipeline:
         retired = 0
         last_seq = -1
         width = self.config.width
+        observer = self.observer
         while rob and retired < width:
             head = rob[0]
             if head.complete_cycle < 0 or head.complete_cycle > now:
@@ -190,6 +195,8 @@ class Pipeline:
             if head.static.is_store:
                 self._inflight_stores -= 1
             self.fill_unit.retire(head, now)
+            if observer is not None:
+                observer.on_retire(head, now)
             self.stats.retired += 1
             if head.from_trace_cache:
                 self.stats.retired_from_tc += 1
@@ -309,6 +316,8 @@ class Pipeline:
         else:
             inst.complete_cycle = now + exec_latency
         self.stats.record_critical(inst, self.interconnect)
+        if self.observer is not None:
+            self.observer.on_dispatch(inst, now)
         if self.strategy.uses_chains:
             self._chain_feedback(inst)
 
@@ -477,6 +486,8 @@ class Pipeline:
         packet, extra_delay = self.fetch_engine.fetch(now)
         if not packet:
             return
+        if self.observer is not None:
+            self.observer.on_fetch(packet, now)
         ready = now + self._frontend_depth + extra_delay
         regfile = self.regfile
         for inst in packet:

@@ -164,6 +164,23 @@ class Simulator:
             l1d_hit_rate=pipeline.memory.l1d.hit_rate,
         )
 
+    def publish_metrics(self, registry) -> None:
+        """Publish the run's statistics into a
+        :class:`repro.obs.MetricsRegistry`: the full :class:`SimStats`
+        counter bag plus the fill-unit and cache summaries that
+        :meth:`result` reports."""
+        pipeline = self.pipeline
+        pipeline.stats.publish(registry)
+        fill = pipeline.fill_unit
+        registry.counter("fill.traces_built").inc(fill.traces_built)
+        registry.counter("fill.instances").inc(fill.fill_instances)
+        registry.counter("fill.migrations").inc(fill.fill_migrations)
+        registry.gauge("fill.migration_rate").set(fill.migration_rate)
+        registry.gauge(
+            "fill.chain_migration_rate").set(fill.chain_migration_rate)
+        registry.gauge("tc.hit_rate").set(pipeline.trace_cache.hit_rate)
+        registry.gauge("l1d.hit_rate").set(pipeline.memory.l1d.hit_rate)
+
 
 def simulate(
     benchmark: Union[str, Program],

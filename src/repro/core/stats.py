@@ -207,3 +207,39 @@ class SimStats:
         if not self.cond_branches:
             return 0.0
         return self.mispredicts / self.cond_branches
+
+    # ------------------------------------------------------------------
+    # Metrics export.
+    # ------------------------------------------------------------------
+    def publish(self, registry, prefix: str = "sim") -> None:
+        """Publish every raw counter and derived metric into a
+        :class:`repro.obs.MetricsRegistry` (the existing attribute and
+        property shapes above are the source of truth; this is a view).
+        """
+        counter = registry.counter
+        for name in (
+            "cycles", "retired", "retired_from_tc",
+            "tc_fetches", "tc_fetch_instructions",
+            "cond_branches", "mispredicts",
+            "forwarded_inputs", "critical_forwarded",
+            "critical_forwarded_inter_trace",
+            "critical_forwarded_intra_cluster",
+            "critical_forward_distance_sum",
+            "forwarded_hops", "forwarded_operands",
+            "exec_migrations", "exec_instances",
+            "migrating_critical_forwarded",
+            "migrating_critical_intra_cluster",
+        ):
+            counter(f"{prefix}.{name}").inc(getattr(self, name))
+        gauge = registry.gauge
+        for name in (
+            "ipc", "pct_tc_instructions", "avg_trace_size",
+            "pct_deps_critical", "pct_critical_inter_trace",
+            "pct_intra_cluster_forwarding", "avg_forward_distance",
+            "pct_migrating_intra_cluster", "mispredict_rate",
+        ):
+            gauge(f"{prefix}.{name}").set(getattr(self, name))
+        for source, share in self.critical_source_breakdown().items():
+            gauge(f"{prefix}.critical_source", source=source).set(share)
+        for key, rate in self.producer_repetition().items():
+            gauge(f"{prefix}.producer_repetition", pair=key).set(rate)

@@ -54,6 +54,7 @@ def run_matrix(
     cache: Union[bool, None, object] = None,
     seed: Optional[int] = None,
     progress=None,
+    telemetry=None,
     engine=None,
 ) -> Dict[Tuple[str, str], SimResult]:
     """Simulate every (benchmark, strategy) combination.
@@ -62,9 +63,11 @@ def run_matrix(
     benchmark-major order, identical to a sequential loop regardless of
     the worker count.
 
-    ``jobs``, ``cache``, ``seed``, and ``progress`` forward to
-    :class:`repro.runtime.ExperimentEngine` (defaults resolve from
-    ``repro.runtime.configure`` and the ``REPRO_*`` environment);
+    ``jobs``, ``cache``, ``seed``, ``progress``, and ``telemetry``
+    forward to :class:`repro.runtime.ExperimentEngine` (defaults
+    resolve from ``repro.runtime.configure`` and the ``REPRO_*``
+    environment; ``telemetry`` is a directory or
+    :class:`repro.obs.TelemetryWriter` for run manifests);
     ``engine`` substitutes a pre-built engine, e.g. to read its
     :attr:`~repro.runtime.EngineReport` afterwards.
     """
@@ -78,7 +81,9 @@ def run_matrix(
         list(benchmarks), specs, config, instructions, warmup, seed=seed,
     )
     if engine is None:
-        engine = ExperimentEngine(jobs=jobs, cache=cache, progress=progress)
+        engine = ExperimentEngine(
+            jobs=jobs, cache=cache, progress=progress, telemetry=telemetry,
+        )
     results = engine.run(list(grid.values()))
     return dict(zip(grid.keys(), results))
 

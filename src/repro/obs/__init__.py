@@ -1,0 +1,76 @@
+"""repro.obs — the simulator-wide observability layer.
+
+Three pillars (see ``docs/OBSERVABILITY.md``):
+
+* :class:`MetricsRegistry` — named counters, gauges, and fixed-bucket
+  histograms with label support (:mod:`repro.obs.metrics`), plus
+  :class:`PipelineMetrics`, an observer that feeds per-event pipeline
+  metrics (e.g. ``dispatch.forward_distance{cluster=2}``) into one.
+* :class:`CycleTracer` — a per-cycle pipeline tracer emitting Chrome
+  trace-event JSON viewable in Perfetto, one lane per cluster plus
+  fetch and fill-unit lanes (:mod:`repro.obs.tracer`).  The underlying
+  :class:`PipelineObserver` hook protocol costs one ``is not None``
+  test per event when nothing is attached, so untraced runs are
+  byte-identical to pre-observability builds.
+* :class:`TelemetryWriter` — structured JSONL event logs and
+  machine-readable ``manifest.json`` run manifests for the experiment
+  engine (:mod:`repro.obs.manifest`), enabled with ``--telemetry-dir``
+  / ``REPRO_TELEMETRY_DIR``.
+
+Quickstart::
+
+    from repro import Simulator, StrategySpec
+    from repro.obs import CycleTracer, MetricsRegistry, PipelineMetrics
+
+    simulator = Simulator("gzip", StrategySpec(kind="fdrt"))
+    registry = MetricsRegistry()
+    tracer = CycleTracer(capacity=50_000)
+    from repro.obs import MultiObserver
+    with MultiObserver(tracer, PipelineMetrics(registry)).attach(
+            simulator.pipeline):
+        simulator.run(20_000)
+    tracer.write("trace.json")          # open in https://ui.perfetto.dev
+    print(registry.to_dict()["counters"])
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    TelemetryWriter,
+    git_sha,
+    host_info,
+    load_manifest,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PipelineMetrics,
+)
+from repro.obs.tracer import (
+    FETCH_LANE,
+    FILL_LANE,
+    CycleTracer,
+    MultiObserver,
+    PipelineObserver,
+)
+
+__all__ = [
+    "Counter",
+    "CycleTracer",
+    "DEFAULT_BUCKETS",
+    "FETCH_LANE",
+    "FILL_LANE",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "MultiObserver",
+    "PipelineMetrics",
+    "PipelineObserver",
+    "TelemetryWriter",
+    "git_sha",
+    "host_info",
+    "load_manifest",
+]

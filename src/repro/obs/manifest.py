@@ -1,0 +1,177 @@
+"""Machine-readable run manifests for the experiment engine.
+
+A :class:`TelemetryWriter` turns one engine run into auditable
+artifacts under a telemetry directory:
+
+``events.jsonl``
+    Append-only structured event log: one ``run_start`` line, one line
+    per job event (cache hit / retry / completion, with the job's
+    content hash and wall-clock), one ``run_end`` line.  Successive
+    runs append, so the file is the full history of the directory.
+
+``manifest.json``
+    Snapshot of the *latest* run: engine report, cache counters,
+    per-job records (key, label, final status, retries, seconds), plus
+    host info and the repository's git SHA when available.  Written
+    atomically (temp file + ``os.replace``) so a crashed run never
+    leaves a torn manifest.
+
+The writer is deliberately decoupled from the engine: it only reads
+attributes off the :class:`~repro.runtime.observe.JobEvent` and
+:class:`~repro.runtime.observe.EngineReport` objects handed to it, so
+this module imports nothing from :mod:`repro.runtime`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional
+
+#: Manifest document schema; bump on incompatible layout changes.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def host_info() -> dict:
+    """Best-effort description of the executing host."""
+    return {
+        "hostname": platform.node(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """HEAD commit of the repository containing ``cwd``, or ``None``."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd or os.getcwd(),
+            capture_output=True, text=True, timeout=5,
+        )
+    except Exception:
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+class TelemetryWriter:
+    """Streams engine events to JSONL and snapshots a run manifest."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.events_path = os.path.join(self.directory, "events.jsonl")
+        self.manifest_path = os.path.join(self.directory, "manifest.json")
+        self._run = 0
+        self._jobs: List[dict] = []
+        self._by_index: Dict[int, dict] = {}
+        self._started = 0.0
+
+    # ------------------------------------------------------------------
+    # Engine-facing lifecycle.
+    # ------------------------------------------------------------------
+    def start_run(self, jobs) -> None:
+        """Begin a run over ``jobs`` (a sequence of ``SimJob``)."""
+        self._run += 1
+        self._started = time.time()
+        self._jobs = []
+        self._by_index = {}
+        for index, job in enumerate(jobs):
+            record = {
+                "index": index,
+                "key": job.key if job.cacheable else None,
+                "label": job.label,
+                "status": "pending",
+                "retries": 0,
+                "elapsed": 0.0,
+            }
+            self._jobs.append(record)
+            self._by_index[index] = record
+        self._append({
+            "event": "run_start", "run": self._run,
+            "ts": self._started, "jobs": len(self._jobs),
+        })
+
+    def record(self, event) -> None:
+        """Log one :class:`JobEvent` and fold it into the job records."""
+        record = self._by_index.get(event.index)
+        if record is not None:
+            if event.status == "hit":
+                record["status"] = "hit"
+            elif event.status == "retry":
+                record["retries"] += 1
+            elif event.status == "done":
+                record["status"] = "executed"
+                record["elapsed"] = event.elapsed
+        self._append({
+            "event": "job", "run": self._run, "ts": time.time(),
+            "index": event.index, "label": event.job.label,
+            "key": event.job.key if event.job.cacheable else None,
+            "status": event.status, "source": event.source,
+            "elapsed": event.elapsed, "completed": event.completed,
+            "total": event.total,
+        })
+
+    def finalize(self, report, cache_stats=None) -> str:
+        """Close the run: append ``run_end`` and write the manifest.
+
+        Returns the manifest path.
+        """
+        self._append({
+            "event": "run_end", "run": self._run, "ts": time.time(),
+            "elapsed": report.elapsed, "cache_hits": report.cache_hits,
+            "executed": report.executed, "retried": report.retried,
+        })
+        manifest = {
+            "schema": MANIFEST_SCHEMA_VERSION,
+            "run": self._run,
+            "created": self._started,
+            "finished": time.time(),
+            "host": host_info(),
+            "git_sha": git_sha(),
+            "engine": report.to_dict(),
+            "jobs": self._jobs,
+        }
+        if cache_stats is not None:
+            manifest["cache"] = cache_stats.to_dict()
+        self._write_atomic(self.manifest_path, manifest)
+        return self.manifest_path
+
+    # ------------------------------------------------------------------
+    # File plumbing.
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        with open(self.events_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    @staticmethod
+    def _write_atomic(path: str, document: dict) -> None:
+        directory = os.path.dirname(path)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2, sort_keys=True)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+
+
+def load_manifest(directory: str) -> dict:
+    """Read ``manifest.json`` back from a telemetry directory."""
+    with open(os.path.join(os.fspath(directory), "manifest.json"),
+              encoding="utf-8") as handle:
+        return json.load(handle)

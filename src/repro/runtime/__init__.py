@@ -13,7 +13,11 @@ cached workload:
   retry, per-job timeout, and inline fallback
   (:mod:`repro.runtime.executor`);
 * :class:`EngineReport` / :func:`progress_printer` — timing, hit/miss
-  counters, and live progress (:mod:`repro.runtime.observe`).
+  counters, and live progress (:mod:`repro.runtime.observe`); with a
+  telemetry directory configured (``REPRO_TELEMETRY_DIR`` /
+  ``--telemetry-dir``) the engine also writes structured JSONL event
+  logs and ``manifest.json`` run manifests through
+  :class:`repro.obs.TelemetryWriter` (see ``docs/OBSERVABILITY.md``).
 
 ``run_matrix`` in :mod:`repro.experiments.runner` routes every cell
 through this engine, so all experiments, benchmarks, and examples

@@ -40,11 +40,22 @@ class CacheStats:
     stores: int = 0
     corrupt: int = 0
 
+    @property
+    def hit_rate(self) -> float:
+        looked = self.hits + self.misses
+        return self.hits / looked if looked else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form, including the derived hit rate."""
+        data = dataclasses.asdict(self)
+        data["hit_rate"] = self.hit_rate
+        return data
+
     def render(self) -> str:
         looked = self.hits + self.misses
-        rate = self.hits / looked if looked else 0.0
         return (
-            f"cache: {self.hits} hits / {looked} lookups ({rate:.0%}), "
+            f"cache: {self.hits} hits / {looked} lookups "
+            f"({self.hit_rate:.0%}), "
             f"{self.stores} stores, {self.corrupt} corrupt entries dropped"
         )
 

@@ -19,20 +19,33 @@ Failure semantics:
 
 Results are returned in submission order regardless of completion
 order, so parallel runs are byte-identical to sequential ones.
+
+With a telemetry directory configured (``telemetry=`` argument,
+``--telemetry-dir``, or ``REPRO_TELEMETRY_DIR``) every run additionally
+streams per-job events to ``events.jsonl`` and snapshots a
+``manifest.json`` run manifest via
+:class:`repro.obs.manifest.TelemetryWriter` — see
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import os
 import time
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.simulator import SimResult
+from repro.obs.manifest import TelemetryWriter
 from repro.runtime.cache import ResultCache
 from repro.runtime.job import SimJob
 from repro.runtime.observe import EngineReport, JobEvent, ProgressCallback
-from repro.runtime.settings import resolve_jobs, resolve_timeout
+from repro.runtime.settings import (
+    resolve_jobs,
+    resolve_telemetry_dir,
+    resolve_timeout,
+)
 
 #: Re-exported so tests (and exotic callers) can substitute the pool class.
 ProcessPoolExecutor = concurrent.futures.ProcessPoolExecutor
@@ -57,6 +70,7 @@ class ExperimentEngine:
         timeout: Optional[float] = None,
         retries: int = 2,
         progress: Optional[ProgressCallback] = None,
+        telemetry: Union[TelemetryWriter, str, os.PathLike, None] = None,
     ) -> None:
         self.workers = resolve_jobs(jobs)
         if isinstance(cache, ResultCache):
@@ -68,6 +82,13 @@ class ExperimentEngine:
         self.timeout = resolve_timeout(timeout)
         self.retries = retries
         self.progress = progress
+        if isinstance(telemetry, TelemetryWriter):
+            self.telemetry: Optional[TelemetryWriter] = telemetry
+        else:
+            directory = resolve_telemetry_dir(telemetry)
+            self.telemetry = (
+                TelemetryWriter(directory) if directory else None
+            )
         #: Report of the most recent :meth:`run` call.
         self.report = EngineReport()
 
@@ -79,6 +100,8 @@ class ExperimentEngine:
         jobs = list(jobs)
         report = EngineReport(total=len(jobs), workers=self.workers)
         self.report = report
+        if self.telemetry is not None:
+            self.telemetry.start_run(jobs)
         started = time.perf_counter()
         results: List[Optional[SimResult]] = [None] * len(jobs)
 
@@ -99,6 +122,8 @@ class ExperimentEngine:
                 self._run_pool(pending, results, report)
 
         report.elapsed = time.perf_counter() - started
+        if self.telemetry is not None:
+            self.telemetry.finalize(report, cache_stats=self.cache.stats)
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -203,13 +228,17 @@ class ExperimentEngine:
         self._emit(report, index, job, "done", elapsed, source)
 
     def _emit(self, report, index, job, status, elapsed, source) -> None:
-        if self.progress is None:
+        if self.progress is None and self.telemetry is None:
             return
         completed = report.cache_hits + report.executed
-        self.progress(JobEvent(
+        event = JobEvent(
             index=index, total=report.total, job=job, status=status,
             elapsed=elapsed, completed=completed, source=source,
-        ))
+        )
+        if self.telemetry is not None:
+            self.telemetry.record(event)
+        if self.progress is not None:
+            self.progress(event)
 
 
 def run_jobs(

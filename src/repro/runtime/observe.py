@@ -53,10 +53,27 @@ class EngineReport:
     def hit_rate(self) -> float:
         return self.cache_hits / self.total if self.total else 0.0
 
+    @property
+    def mode(self) -> str:
+        """Where the work actually ran: ``cache only`` when every job
+        was a hit, ``inline`` when (any of) the jobs executed in this
+        process, else the pool's worker count."""
+        if self.total and self.executed == 0:
+            return "cache only"
+        if self.inline:
+            return "inline"
+        return f"{self.workers} workers"
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form, including the derived rates."""
+        data = dataclasses.asdict(self)
+        data["hit_rate"] = self.hit_rate
+        data["mode"] = self.mode
+        return data
+
     def render(self) -> str:
         """One-paragraph human-readable summary."""
-        mode = "inline" if self.inline or self.workers <= 1 else (
-            f"{self.workers} workers")
+        mode = self.mode
         lines = [
             f"{self.total} jobs in {self.elapsed:.2f}s ({mode}): "
             f"{self.cache_hits} cache hits ({self.hit_rate:.0%}), "

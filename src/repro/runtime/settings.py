@@ -17,6 +17,9 @@ Environment variables:
     Any non-empty value disables the result cache entirely.
 ``REPRO_JOB_TIMEOUT``
     Per-job timeout in seconds (float).  Default: no timeout.
+``REPRO_TELEMETRY_DIR``
+    Directory for run telemetry (``events.jsonl`` + ``manifest.json``,
+    see ``docs/OBSERVABILITY.md``).  Default: telemetry disabled.
 """
 
 from __future__ import annotations
@@ -27,20 +30,23 @@ from typing import Optional, Union
 _UNSET = object()
 
 #: :func:`configure` overrides; ``None`` means "not configured".
-_configured = {"jobs": None, "cache": None}
+_configured = {"jobs": None, "cache": None, "telemetry_dir": None}
 
 
-def configure(jobs=_UNSET, cache=_UNSET) -> None:
+def configure(jobs=_UNSET, cache=_UNSET, telemetry_dir=_UNSET) -> None:
     """Set process-wide runtime defaults.
 
     ``jobs`` is a worker count (int, or ``'auto'`` for one per CPU);
-    ``cache`` is a bool enabling/disabling the result cache.  Pass
+    ``cache`` is a bool enabling/disabling the result cache;
+    ``telemetry_dir`` is a directory for engine run telemetry.  Pass
     ``None`` to clear an override back to environment resolution.
     """
     if jobs is not _UNSET:
         _configured["jobs"] = jobs
     if cache is not _UNSET:
         _configured["cache"] = cache
+    if telemetry_dir is not _UNSET:
+        _configured["telemetry_dir"] = telemetry_dir
 
 
 def configured_jobs():
@@ -85,6 +91,17 @@ def resolve_cache_dir(explicit: Union[str, os.PathLike, None] = None) -> str:
     if env:
         return env
     return os.path.join(os.path.expanduser("~"), ".cache", "repro")
+
+
+def resolve_telemetry_dir(
+    explicit: Union[str, os.PathLike, None] = None,
+) -> Optional[str]:
+    """Resolve the telemetry directory (``None`` = telemetry off)."""
+    if explicit is not None:
+        return os.fspath(explicit)
+    if _configured["telemetry_dir"] is not None:
+        return os.fspath(_configured["telemetry_dir"])
+    return os.environ.get("REPRO_TELEMETRY_DIR") or None
 
 
 def resolve_timeout(explicit: Optional[float] = None) -> Optional[float]:

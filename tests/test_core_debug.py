@@ -53,6 +53,21 @@ class TestLifetimeRecorder:
         pipeline.run(300)
         assert recorder.mean_latency() > 5.0
 
+    def test_context_manager_detaches(self, pipeline):
+        original = pipeline.fill_unit.retire
+        with LifetimeRecorder(pipeline, capacity=5) as recorder:
+            pipeline.run(200)
+        assert pipeline.fill_unit.retire == original
+        assert len(recorder.records) == 5
+
+    def test_context_manager_detaches_on_error(self, pipeline):
+        original = pipeline.fill_unit.retire
+        with pytest.raises(RuntimeError, match="boom"):
+            with LifetimeRecorder(pipeline, capacity=5):
+                raise RuntimeError("boom")
+        # The fill-unit hook is restored even though the window raised.
+        assert pipeline.fill_unit.retire == original
+
 
 class TestStallAttributor:
     def test_breakdown_sums_to_one(self, pipeline):

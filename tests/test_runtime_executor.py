@@ -33,9 +33,10 @@ def isolated_runtime(tmp_path, monkeypatch):
     monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     monkeypatch.delenv("REPRO_JOB_TIMEOUT", raising=False)
-    settings.configure(jobs=None, cache=None)
+    monkeypatch.delenv("REPRO_TELEMETRY_DIR", raising=False)
+    settings.configure(jobs=None, cache=None, telemetry_dir=None)
     yield
-    settings.configure(jobs=None, cache=None)
+    settings.configure(jobs=None, cache=None, telemetry_dir=None)
 
 
 def make_jobs(benches=("gzip",), specs=(StrategySpec(kind="base"),)):
@@ -172,6 +173,107 @@ class TestObservability:
         engine.run(make_jobs())
         out = engine.report.render()
         assert "1 jobs" in out and "cache hits" in out
+
+    def test_report_to_dict(self):
+        engine = ExperimentEngine(jobs=1, cache=False)
+        engine.run(make_jobs(("gzip", "bzip2")))
+        data = engine.report.to_dict()
+        assert data["total"] == 2 and data["executed"] == 2
+        assert data["hit_rate"] == 0.0
+        assert data["mode"] == "inline"
+        assert len(data["job_seconds"]) == 2
+
+
+class TestReportMode:
+    """EngineReport must report where work actually ran, not guess
+    "inline" from the worker count."""
+
+    def test_all_hits_not_labelled_inline(self):
+        engine = ExperimentEngine(jobs=1)
+        jobs = make_jobs()
+        engine.run(jobs)   # cold: executes inline
+        engine.run(jobs)   # warm: pure cache, nothing executed
+        report = engine.report
+        assert not report.inline
+        assert report.mode == "cache only"
+        assert "inline" not in report.render()
+        assert "cache only" in report.render()
+
+    def test_all_hits_with_pool_workers_not_labelled_workers(self):
+        jobs = make_jobs()
+        ExperimentEngine(jobs=1).run(jobs)
+        engine = ExperimentEngine(jobs=4)
+        engine.run(jobs)
+        assert engine.report.mode == "cache only"
+
+    def test_inline_execution_labelled_inline(self):
+        engine = ExperimentEngine(jobs=1, cache=False)
+        engine.run(make_jobs())
+        assert engine.report.mode == "inline"
+        assert "(inline)" in engine.report.render()
+
+    def test_pool_execution_reports_worker_count(self):
+        engine = ExperimentEngine(jobs=2, cache=False)
+        engine.run(make_jobs(("gzip", "bzip2")))
+        if not engine.report.inline:  # pool may degrade on odd platforms
+            assert engine.report.mode == "2 workers"
+            assert "2 workers" in engine.report.render()
+
+
+class TestProgressPrinter:
+    """Formatting of the live progress lines."""
+
+    def run_events(self, *events):
+        import io
+        from repro.runtime.observe import progress_printer
+
+        stream = io.StringIO()
+        callback = progress_printer(stream)
+        for event in events:
+            callback(event)
+        return stream.getvalue().splitlines()
+
+    def make_event(self, status, index=0, total=2, completed=1,
+                   elapsed=1.4, source="inline"):
+        from repro.runtime.observe import JobEvent
+
+        return JobEvent(index=index, total=total, job=make_jobs()[0],
+                        status=status, elapsed=elapsed,
+                        completed=completed, source=source)
+
+    def test_done_line_has_timing(self):
+        (line,) = self.run_events(self.make_event("done"))
+        assert line == f"[1/2] {'gzip × Base':<36} done  1.4s"
+
+    def test_hit_line_says_cached_without_timing(self):
+        (line,) = self.run_events(
+            self.make_event("hit", elapsed=0.0, source="cache"))
+        assert "cached" in line
+        assert "s" not in line.split("cached")[1]  # no trailing timing
+
+    def test_retry_line(self):
+        (line,) = self.run_events(
+            self.make_event("retry", elapsed=2.0, source="pool"))
+        assert "retry" in line and "2.0s" in line
+
+    def test_counter_width_alignment(self):
+        lines = self.run_events(
+            self.make_event("done", completed=3, total=120),
+            self.make_event("done", completed=45, total=120),
+            self.make_event("done", completed=120, total=120),
+        )
+        assert lines[0].startswith("[  3/120]")
+        assert lines[1].startswith("[ 45/120]")
+        assert lines[2].startswith("[120/120]")
+        # The status column lines up across rows.
+        assert len({line.index(" done") for line in lines}) == 1
+
+    def test_defaults_to_stderr(self, capsys):
+        from repro.runtime.observe import progress_printer
+
+        progress_printer()(self.make_event("done"))
+        captured = capsys.readouterr()
+        assert "done" in captured.err and captured.out == ""
 
 
 class TestWorkerResolution:
