@@ -2,22 +2,53 @@
 
 Utilities that sit on top of :class:`~repro.core.simulator.SimResult` and
 live :class:`~repro.core.pipeline.Pipeline` objects: hardware utilization
-reports, CSV export of result matrices, and the text bar charts used to
-render the paper's figures in a terminal.
+reports, CSV export of result matrices, the text bar charts used to
+render the paper's figures in a terminal, and the performance-analysis
+and regression subsystem behind ``repro analyze`` / ``repro baseline``
+/ ``repro diff`` — top-down IPC-loss attribution, golden-metric
+baselines with noise bands, and out-of-band run diffing.
 """
 
 from repro.analysis.utilization import UtilizationReport, collect_utilization
 from repro.analysis.export import results_to_csv, results_to_rows
 from repro.analysis.charts import bar_chart
 from repro.analysis.energy import EnergyModel, EnergyReport, estimate_energy
+from repro.analysis.attribution import Attribution
+from repro.analysis.baseline import (
+    BASELINE_SCHEMA_VERSION,
+    capture_baseline,
+    load_baseline,
+    metric_direction,
+    metrics_from_result,
+    write_baseline,
+)
+from repro.analysis.diffing import DiffReport, MetricDelta, diff_sources
+from repro.analysis.reporting import (
+    AnalysisReport,
+    AssignmentQuality,
+    analyze_manifest,
+)
 
 __all__ = [
+    "AnalysisReport",
+    "AssignmentQuality",
+    "Attribution",
+    "BASELINE_SCHEMA_VERSION",
+    "DiffReport",
     "EnergyModel",
     "EnergyReport",
+    "MetricDelta",
     "UtilizationReport",
+    "analyze_manifest",
     "bar_chart",
+    "capture_baseline",
     "collect_utilization",
+    "diff_sources",
     "estimate_energy",
+    "load_baseline",
+    "metric_direction",
+    "metrics_from_result",
     "results_to_csv",
     "results_to_rows",
+    "write_baseline",
 ]

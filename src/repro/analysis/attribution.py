@@ -1,0 +1,171 @@
+"""Top-down IPC-loss attribution tables.
+
+Every simulation carries a per-cluster, per-category decomposition of
+its lost retire slots (``SimResult.cycle_accounting``, produced by the
+always-on :class:`repro.core.accounting.CycleAccounting`).  This module
+turns that raw counter bag into the analyst-facing artifact: a table
+that explains, category by category, where the IPC gap versus the
+ideal-width machine went.
+
+The decomposition is exact by construction — lost slots sum to
+``width * cycles - retired`` — so the rendered table always accounts
+for 100% of the gap; :meth:`Attribution.gap_error` exposes the
+(floating-point-only) residual for tests and reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.accounting import CYCLE_LOSS_CATEGORIES
+
+
+@dataclasses.dataclass(frozen=True)
+class Attribution:
+    """IPC-loss attribution of one run, detached from the simulator.
+
+    Built from a :class:`~repro.core.simulator.SimResult` or its
+    ``to_dict`` payload (e.g. a job record inside a run manifest), so
+    analysis is purely post-hoc — no re-simulation.
+    """
+
+    benchmark: str
+    strategy: str
+    width: int
+    cycles: int
+    retired: int
+    ipc: float
+    #: Lost retire slots, ``{cluster: {category: slots}}`` with cluster
+    #: keys ``"0"``.. plus the ``"frontend"`` pseudo-cluster.
+    cycle_accounting: Dict[str, Dict[str, int]]
+
+    @classmethod
+    def from_result(cls, result) -> "Attribution":
+        """Build from a ``SimResult`` or its ``to_dict`` payload."""
+        if not isinstance(result, Mapping):
+            result = result.to_dict()
+        return cls(
+            benchmark=str(result["benchmark"]),
+            strategy=str(result["strategy"]),
+            width=int(result["width"]),
+            cycles=int(result["cycles"]),
+            retired=int(result["retired"]),
+            ipc=float(result["ipc"]),
+            cycle_accounting={
+                str(cluster): {str(cat): int(n) for cat, n in per.items()}
+                for cluster, per in result["cycle_accounting"].items()
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Derived views.
+    # ------------------------------------------------------------------
+    @property
+    def ipc_gap(self) -> float:
+        """IPC lost versus the ideal-width machine."""
+        return self.width - self.ipc
+
+    @property
+    def lost_slots(self) -> int:
+        return sum(
+            slots
+            for per_cluster in self.cycle_accounting.values()
+            for slots in per_cluster.values()
+        )
+
+    def loss_by_category(self) -> Dict[str, float]:
+        """IPC lost per category, summed across clusters."""
+        cycles = self.cycles or 1
+        totals: Dict[str, float] = {}
+        for per_cluster in self.cycle_accounting.values():
+            for category, slots in per_cluster.items():
+                totals[category] = totals.get(category, 0.0) + slots / cycles
+        return totals
+
+    def loss_by_cluster(self) -> Dict[str, float]:
+        """IPC lost per cluster (including ``frontend``)."""
+        cycles = self.cycles or 1
+        return {
+            cluster: sum(per_cluster.values()) / cycles
+            for cluster, per_cluster in self.cycle_accounting.items()
+        }
+
+    def worst_cluster(self, category: str) -> Tuple[str, float]:
+        """``(cluster, ipc_loss)`` of the top contributor to ``category``."""
+        cycles = self.cycles or 1
+        best = ("-", 0.0)
+        for cluster, per_cluster in self.cycle_accounting.items():
+            loss = per_cluster.get(category, 0) / cycles
+            if loss > best[1]:
+                best = (cluster, loss)
+        return best
+
+    def gap_error(self) -> float:
+        """Relative mismatch between the gap and the category sum.
+
+        Zero up to floating point: the accounting attributes every
+        unfilled retire slot to exactly one category.
+        """
+        gap = self.ipc_gap
+        if gap == 0:
+            return 0.0
+        return abs(sum(self.loss_by_category().values()) - gap) / abs(gap)
+
+    # ------------------------------------------------------------------
+    # Rendering.
+    # ------------------------------------------------------------------
+    def rows(self) -> List[Tuple[str, float, float, str]]:
+        """``(category, ipc_loss, share_of_gap, worst_cluster)`` rows,
+        largest loss first, known categories only, zero rows dropped."""
+        losses = self.loss_by_category()
+        gap = self.ipc_gap or 1.0
+        ordered = sorted(
+            (cat for cat in CYCLE_LOSS_CATEGORIES if losses.get(cat)),
+            key=lambda cat: -losses[cat],
+        )
+        out = []
+        for category in ordered:
+            cluster, cluster_loss = self.worst_cluster(category)
+            out.append((
+                category,
+                losses[category],
+                losses[category] / gap,
+                f"{cluster} ({cluster_loss:.3f})",
+            ))
+        return out
+
+    def render(self) -> str:
+        """Terminal attribution table for this run."""
+        lines = [
+            f"{self.benchmark} × {self.strategy} — "
+            f"IPC {self.ipc:.3f} of {self.width} "
+            f"(gap {self.ipc_gap:.3f} over {self.cycles} cycles)",
+            f"  {'category':<20} {'IPC loss':>9} {'% gap':>7}  worst cluster",
+        ]
+        for category, loss, share, worst in self.rows():
+            lines.append(
+                f"  {category:<20} {loss:>9.3f} {share:>7.1%}  {worst}"
+            )
+        lines.append(
+            f"  {'(total)':<20} {sum(self.loss_by_category().values()):>9.3f}"
+            f" {1.0:>7.1%}  residual {self.gap_error():.1e}"
+        )
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Markdown attribution table for this run."""
+        lines = [
+            f"### {self.benchmark} × {self.strategy}",
+            "",
+            f"IPC **{self.ipc:.3f}** of width {self.width} — "
+            f"gap {self.ipc_gap:.3f} over {self.cycles} cycles.",
+            "",
+            "| category | IPC loss | % of gap | worst cluster |",
+            "| --- | ---: | ---: | --- |",
+        ]
+        for category, loss, share, worst in self.rows():
+            lines.append(
+                f"| `{category}` | {loss:.3f} | {share:.1%} | {worst} |"
+            )
+        return "\n".join(lines)

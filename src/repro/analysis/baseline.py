@@ -1,0 +1,172 @@
+"""Golden-metric baselines with replication-derived noise bands.
+
+``repro baseline capture`` snapshots one metrics document per machine
+variant into ``baselines/*.json``.  Each (benchmark × strategy) entry
+stores the default-seed value of every gated metric plus a noise band
+derived from re-running the same cell under replicate workload seeds:
+a later run is only flagged as a regression when it leaves
+``value ± band`` in the unfavourable direction (see
+:mod:`repro.analysis.diffing`).
+
+The simulator is fully deterministic for a fixed seed, so the band is
+not run-to-run jitter — it is *workload sensitivity*: how much the
+metric moves when the generated instruction stream changes shape.  A
+code change that stays inside that envelope is indistinguishable from
+re-rolling the workload and should not fail CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.analysis.attribution import Attribution
+
+#: Baseline document schema; bump on incompatible layout changes.
+BASELINE_SCHEMA_VERSION = 1
+
+#: Gated metrics and the direction that counts as "better".  Anything
+#: not listed (notably the per-category ``stall.*`` IPC losses) is
+#: informational: reported in diffs, never part of the exit code.
+METRIC_DIRECTIONS: Dict[str, str] = {
+    "ipc": "higher",
+    "tc_hit_rate": "higher",
+    "l1d_hit_rate": "higher",
+    "pct_tc_instructions": "higher",
+    "pct_intra_cluster_forwarding": "higher",
+    "mispredict_rate": "lower",
+    "avg_forward_distance": "lower",
+}
+
+#: Noise-band floors: never gate tighter than 1% relative or this
+#: absolute slack, so zero-valued and near-zero metrics stay stable.
+RELATIVE_BAND_FLOOR = 0.01
+ABSOLUTE_BAND_FLOOR = 1e-3
+
+
+def metric_direction(name: str) -> str:
+    """``'higher'``, ``'lower'``, or ``'info'`` for a metric name."""
+    return METRIC_DIRECTIONS.get(name, "info")
+
+
+def metrics_from_result(result) -> Dict[str, float]:
+    """Flat metric map of one run: gated scalars + ``stall.*`` losses.
+
+    Accepts a :class:`~repro.core.simulator.SimResult` or its
+    ``to_dict`` payload.
+    """
+    if not isinstance(result, Mapping):
+        result = result.to_dict()
+    metrics = {name: float(result[name]) for name in METRIC_DIRECTIONS}
+    attribution = Attribution.from_result(result)
+    for category, loss in attribution.loss_by_category().items():
+        metrics[f"stall.{category}"] = loss
+    return metrics
+
+
+def noise_band(value: float, replicates: Iterable[float]) -> float:
+    """Band half-width: replicate spread, floored at 1% / absolute."""
+    spread = max((abs(rep - value) for rep in replicates), default=0.0)
+    return max(spread, RELATIVE_BAND_FLOOR * abs(value), ABSOLUTE_BAND_FLOOR)
+
+
+def entry_key(benchmark: str, strategy: str) -> str:
+    """Canonical ``"bench|Strategy Label"`` entry key."""
+    return f"{benchmark}|{strategy}"
+
+
+def capture_baseline(
+    benchmarks: Sequence[str],
+    specs: Sequence,
+    config,
+    machine: str,
+    instructions: int,
+    warmup: int,
+    seeds: Sequence[int] = (1, 2),
+    engine=None,
+) -> dict:
+    """Run the grid (default seed + replicates) and build the document.
+
+    The default-seed run provides each metric's golden ``value``; the
+    seeded replicates only widen the noise band.  All jobs go through
+    one :class:`~repro.runtime.ExperimentEngine` run, so they are
+    cached, parallelised, and telemetered like any other sweep.
+    """
+    from repro.runtime import ExperimentEngine, SimJob
+
+    engine = engine if engine is not None else ExperimentEngine()
+    cells = [(benchmark, spec) for benchmark in benchmarks for spec in specs]
+    jobs: List[SimJob] = []
+    for benchmark, spec in cells:
+        for seed in (None, *seeds):
+            jobs.append(SimJob(
+                benchmark=benchmark, spec=spec, config=config,
+                instructions=instructions, warmup=warmup, seed=seed,
+            ))
+    results = engine.run(jobs)
+
+    entries = {}
+    per_cell = 1 + len(seeds)
+    for position, (benchmark, spec) in enumerate(cells):
+        chunk = results[position * per_cell:(position + 1) * per_cell]
+        value_metrics = metrics_from_result(chunk[0])
+        replicate_metrics = [metrics_from_result(r) for r in chunk[1:]]
+        entries[entry_key(benchmark, spec.label)] = {
+            "benchmark": benchmark,
+            "strategy": spec.label,
+            "metrics": {
+                name: {
+                    "value": value,
+                    "mean": (
+                        sum([value] + [rep.get(name, 0.0)
+                                       for rep in replicate_metrics])
+                        / (1 + len(replicate_metrics))
+                    ),
+                    "band": noise_band(
+                        value,
+                        (rep.get(name, 0.0) for rep in replicate_metrics),
+                    ),
+                }
+                for name, value in sorted(value_metrics.items())
+            },
+        }
+
+    from repro.obs.manifest import git_sha
+
+    return {
+        "schema": BASELINE_SCHEMA_VERSION,
+        "created": time.time(),
+        "git_sha": git_sha(),
+        "machine": machine,
+        "instructions": int(instructions),
+        "warmup": int(warmup),
+        "seeds": list(seeds),
+        "entries": entries,
+    }
+
+
+def write_baseline(path: str, document: dict) -> str:
+    """Write a baseline document as pretty-printed JSON; returns path."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_baseline(path: str) -> dict:
+    """Read a baseline document back, validating its schema version."""
+    with open(os.fspath(path), encoding="utf-8") as handle:
+        document = json.load(handle)
+    schema: Optional[int] = document.get("schema")
+    if schema != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported baseline schema {schema!r} in {path} "
+            f"(expected {BASELINE_SCHEMA_VERSION})"
+        )
+    return document

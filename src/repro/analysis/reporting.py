@@ -1,0 +1,164 @@
+"""``repro analyze``: post-hoc performance reports from run telemetry.
+
+Consumes a schema-v2 run manifest (whose job records embed full
+``SimResult`` payloads) and produces:
+
+* per-(benchmark × strategy) top-down IPC-loss attribution tables
+  (:class:`~repro.analysis.attribution.Attribution`);
+* an assignment-quality summary for trace-based strategies — how well
+  the cluster assignment localised critical operand forwarding, the
+  FDRT option mix, and migration behaviour;
+* the engine/cache summary of the run.
+
+Everything renders twice: a terminal dashboard (:meth:`render`) and a
+markdown report (:meth:`to_markdown`) for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.analysis.attribution import Attribution
+
+
+@dataclasses.dataclass(frozen=True)
+class AssignmentQuality:
+    """Cluster-assignment quality of one run.
+
+    ``avoidable_inter_fraction`` is the share of critical register
+    forwards a better assignment could still localise — the headroom
+    the paper's FDRT strategy chases.
+    """
+
+    benchmark: str
+    strategy: str
+    pct_intra_cluster_forwarding: float
+    avg_forward_distance: float
+    chain_migration_rate: float
+    fill_migration_rate: float
+    option_counts: Dict[str, int]
+
+    @property
+    def avoidable_inter_fraction(self) -> float:
+        return max(0.0, 1.0 - self.pct_intra_cluster_forwarding)
+
+    def option_mix(self) -> Dict[str, float]:
+        """FDRT assignment-option usage fractions (empty for non-FDRT)."""
+        total = sum(self.option_counts.values())
+        if not total:
+            return {}
+        return {name: count / total
+                for name, count in sorted(self.option_counts.items())}
+
+    def summary_line(self) -> str:
+        parts = [
+            f"intra-cluster fwd {self.pct_intra_cluster_forwarding:.1%}",
+            f"avoidable inter {self.avoidable_inter_fraction:.1%}",
+            f"mean distance {self.avg_forward_distance:.2f}",
+            f"chain migration {self.chain_migration_rate:.1%}",
+        ]
+        mix = self.option_mix()
+        if mix:
+            parts.append("options " + " ".join(
+                f"{name}={fraction:.0%}" for name, fraction in mix.items()))
+        return ", ".join(parts)
+
+    @classmethod
+    def from_result(cls, result: dict) -> "AssignmentQuality":
+        return cls(
+            benchmark=str(result["benchmark"]),
+            strategy=str(result["strategy"]),
+            pct_intra_cluster_forwarding=float(
+                result["pct_intra_cluster_forwarding"]),
+            avg_forward_distance=float(result["avg_forward_distance"]),
+            chain_migration_rate=float(result["chain_migration_rate"]),
+            fill_migration_rate=float(result["fill_migration_rate"]),
+            option_counts={str(k): int(v)
+                           for k, v in result["option_counts"].items()},
+        )
+
+
+@dataclasses.dataclass
+class AnalysisReport:
+    """Everything ``repro analyze`` derives from one run manifest."""
+
+    attributions: List[Attribution]
+    quality: List[AssignmentQuality]
+    engine: Optional[dict] = None
+
+    def render(self) -> str:
+        """Terminal dashboard: attribution tables + quality summary."""
+        if not self.attributions:
+            return ("no job results in this manifest "
+                    "(schema v2 with per-job results required)")
+        blocks = ["top-down IPC-loss attribution", ""]
+        for attribution in self.attributions:
+            blocks.append(attribution.render())
+            blocks.append("")
+        blocks.append("assignment quality (critical-operand locality)")
+        for quality in self.quality:
+            blocks.append(
+                f"  {quality.benchmark} × {quality.strategy}: "
+                f"{quality.summary_line()}"
+            )
+        if self.engine:
+            blocks.append("")
+            blocks.append(
+                f"engine: {self.engine.get('total', 0)} jobs, "
+                f"{self.engine.get('cache_hits', 0)} cache hits, "
+                f"{self.engine.get('executed', 0)} executed "
+                f"({self.engine.get('mode', '?')}, "
+                f"{self.engine.get('elapsed', 0.0):.2f}s)"
+            )
+        return "\n".join(blocks)
+
+    def to_markdown(self) -> str:
+        """Markdown report (the CI artifact)."""
+        lines = ["# Performance analysis", ""]
+        if not self.attributions:
+            lines.append("_No job results in this manifest._")
+            return "\n".join(lines)
+        lines.append("## Top-down IPC-loss attribution")
+        lines.append("")
+        for attribution in self.attributions:
+            lines.append(attribution.to_markdown())
+            lines.append("")
+        lines.append("## Assignment quality")
+        lines.append("")
+        lines.append("| run | intra-cluster fwd | avoidable inter "
+                     "| mean distance | chain migration | option mix |")
+        lines.append("| --- | ---: | ---: | ---: | ---: | --- |")
+        for quality in self.quality:
+            mix = " ".join(f"{name}={fraction:.0%}"
+                           for name, fraction in quality.option_mix().items())
+            lines.append(
+                f"| {quality.benchmark} × {quality.strategy} "
+                f"| {quality.pct_intra_cluster_forwarding:.1%} "
+                f"| {quality.avoidable_inter_fraction:.1%} "
+                f"| {quality.avg_forward_distance:.2f} "
+                f"| {quality.chain_migration_rate:.1%} "
+                f"| {mix or '—'} |"
+            )
+        return "\n".join(lines)
+
+
+def analyze_manifest(manifest: dict) -> AnalysisReport:
+    """Build an :class:`AnalysisReport` from a loaded run manifest.
+
+    Seeded replicate jobs (``seed`` set) are skipped — they exist for
+    baseline noise bands and would duplicate every table row.
+    """
+    attributions: List[Attribution] = []
+    quality: List[AssignmentQuality] = []
+    for record in manifest.get("jobs", ()):
+        result = record.get("result")
+        if result is None or record.get("seed") is not None:
+            continue
+        attributions.append(Attribution.from_result(result))
+        quality.append(AssignmentQuality.from_result(result))
+    return AnalysisReport(
+        attributions=attributions,
+        quality=quality,
+        engine=manifest.get("engine"),
+    )

@@ -28,6 +28,13 @@ https://ui.perfetto.dev), ``--telemetry-dir DIR`` (also
 event logs plus a ``manifest.json`` run manifest, and
 ``sweep --report-json PATH`` dumps the engine report and cache counters
 as machine-readable JSON (``-`` = stdout).
+
+Regression tracking (see ``docs/OBSERVABILITY.md``): ``repro analyze
+DIR`` renders top-down IPC-loss attribution and assignment-quality
+reports from a telemetry directory, ``repro baseline capture`` snapshots
+golden metrics (with multi-seed noise bands) into ``baselines/*.json``,
+and ``repro diff A B`` / ``repro diff RUN --against BASELINE`` flags
+out-of-noise-band deltas, exiting non-zero on regressions.
 """
 
 from __future__ import annotations
@@ -183,6 +190,48 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the engine report + cache counters as "
                             "JSON to PATH ('-' = stdout; matrix mode)")
     add_runtime(sweep)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="performance report from a telemetry directory: top-down "
+             "IPC-loss attribution + assignment quality")
+    analyze.add_argument("telemetry",
+                         help="telemetry directory (or manifest.json path)")
+    analyze.add_argument("--markdown", default=None, metavar="PATH",
+                         help="also write the report as markdown to PATH")
+
+    baseline = sub.add_parser(
+        "baseline",
+        help="capture golden per-(benchmark x strategy) metrics with "
+             "multi-seed noise bands")
+    baseline.add_argument("action", choices=("capture",))
+    baseline.add_argument("--out", default="baselines/base.json",
+                          metavar="PATH", help="baseline JSON to write")
+    baseline.add_argument("--benchmarks", default=None, metavar="A,B,...",
+                          help="comma-separated benchmarks "
+                               "(default: the paper's six)")
+    baseline.add_argument("--strategies", default=None, metavar="A,B,...",
+                          help="comma-separated strategies "
+                               "(default: base,friendly,fdrt)")
+    baseline.add_argument("--seeds", default="1,2", metavar="S1,S2,...",
+                          help="replicate workload seeds for the noise "
+                               "band (default 1,2)")
+    add_common(baseline)
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two runs (or a run against a baseline); exits 1 "
+             "on out-of-noise-band regressions")
+    diff.add_argument("a", metavar="RUN-A",
+                      help="reference run: telemetry dir or baseline/"
+                           "manifest JSON (the candidate with --against)")
+    diff.add_argument("b", metavar="RUN-B", nargs="?", default=None,
+                      help="candidate run (omit when using --against)")
+    diff.add_argument("--against", default=None, metavar="PATH",
+                      help="reference to compare RUN-A against "
+                           "(typically a committed baseline)")
+    diff.add_argument("--markdown", default=None, metavar="PATH",
+                      help="also write the diff as markdown to PATH")
     return parser
 
 
@@ -249,6 +298,20 @@ def _cmd_compare(args) -> int:
 
 def _cmd_trace(args) -> int:
     from repro.obs import CycleTracer
+
+    if args.events <= 0:
+        print(f"error: --events must be positive (got {args.events})",
+              file=sys.stderr)
+        return 2
+    try:
+        # Probe writability up front: a multi-minute simulation that
+        # dies on the final write is the worst possible failure mode.
+        with open(args.out, "a", encoding="utf-8"):
+            pass
+    except OSError as error:
+        print(f"error: cannot write --out {args.out}: {error}",
+              file=sys.stderr)
+        return 2
 
     spec = _STRATEGIES[args.strategy]
     simulator = Simulator(args.benchmark, spec, config=_machine(args))
@@ -339,10 +402,13 @@ def _cmd_sweep_matrix(args) -> int:
     from repro.runtime import ExperimentEngine, progress_printer
     from repro.workloads.suites import SPECINT2000_SELECTED
 
-    benchmarks = (args.benchmarks.split(",") if args.benchmarks
+    benchmarks = (_split_tokens(args.benchmarks) if args.benchmarks
                   else list(SPECINT2000_SELECTED))
-    names = (args.strategies.split(",") if args.strategies
+    names = (_split_tokens(args.strategies) if args.strategies
              else list(_COMPARE_ORDER))
+    if not benchmarks or not names:
+        print("error: empty benchmark/strategy selection", file=sys.stderr)
+        return 2
     try:
         specs = [_STRATEGIES[name] for name in names]
     except KeyError as error:
@@ -386,6 +452,98 @@ def _cmd_sweep_matrix(args) -> int:
     return 0
 
 
+def _split_tokens(value: str) -> List[str]:
+    """Comma-split a CLI list, dropping empty tokens (``"a,,b"``)."""
+    return [token.strip() for token in value.split(",") if token.strip()]
+
+
+def _cmd_analyze(args) -> int:
+    import json
+    import os
+
+    from repro.analysis import analyze_manifest
+
+    path = args.telemetry
+    if os.path.isdir(path):
+        path = os.path.join(path, "manifest.json")
+    try:
+        with open(path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except OSError as error:
+        print(f"error: cannot read manifest: {error}", file=sys.stderr)
+        return 2
+    report = analyze_manifest(manifest)
+    print(report.render())
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(report.to_markdown() + "\n")
+        print(f"\nmarkdown report: {args.markdown}")
+    return 0
+
+
+def _cmd_baseline(args) -> int:
+    from repro.analysis import capture_baseline, write_baseline
+    from repro.runtime import ExperimentEngine, progress_printer
+    from repro.workloads.suites import SPECINT2000_SELECTED
+
+    benchmarks = (_split_tokens(args.benchmarks) if args.benchmarks
+                  else list(SPECINT2000_SELECTED))
+    names = (_split_tokens(args.strategies) if args.strategies
+             else ["base", "friendly", "fdrt"])
+    if not benchmarks or not names:
+        print("error: empty benchmark/strategy selection", file=sys.stderr)
+        return 2
+    try:
+        specs = [_STRATEGIES[name] for name in names]
+    except KeyError as error:
+        print(f"error: unknown strategy {error} "
+              f"(choices: {', '.join(sorted(_STRATEGIES))})", file=sys.stderr)
+        return 2
+    try:
+        seeds = [int(token) for token in _split_tokens(args.seeds)]
+    except ValueError:
+        print(f"error: --seeds must be comma-separated integers "
+              f"(got {args.seeds!r})", file=sys.stderr)
+        return 2
+
+    document = capture_baseline(
+        benchmarks, specs, config=_machine(args), machine=args.machine,
+        instructions=args.instructions, warmup=args.warmup, seeds=seeds,
+        engine=ExperimentEngine(progress=progress_printer()),
+    )
+    path = write_baseline(args.out, document)
+    print(f"baseline: {path} — {len(document['entries'])} entries, "
+          f"{len(seeds)} replicate seed(s) per entry")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.analysis import diff_sources
+
+    if args.against and args.b:
+        print("error: give either RUN-B or --against, not both",
+              file=sys.stderr)
+        return 2
+    if args.against:
+        before, after = args.against, args.a
+    elif args.b:
+        before, after = args.a, args.b
+    else:
+        print("error: nothing to diff against "
+              "(give RUN-B or --against PATH)", file=sys.stderr)
+        return 2
+    try:
+        report = diff_sources(before, after)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(report.to_markdown() + "\n")
+    return report.exit_code
+
+
 def _apply_runtime(args) -> None:
     """Install ``--jobs`` / ``--no-cache`` as process-wide defaults.
 
@@ -416,6 +574,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "energy": _cmd_energy,
         "sweep": _cmd_sweep,
+        "analyze": _cmd_analyze,
+        "baseline": _cmd_baseline,
+        "diff": _cmd_diff,
     }
     try:
         return handlers[args.command](args)

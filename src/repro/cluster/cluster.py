@@ -67,6 +67,19 @@ class Cluster:
         """True if ``inst`` can be written into a station this cycle."""
         return self._station_for(inst.static.op_class, now) is not None
 
+    def has_space(self, inst: DynInst, now: int) -> bool:
+        """Pure variant of :meth:`can_accept` for observers.
+
+        ``_station_for`` advances the simple-station balance toggle, so
+        calling it from instrumentation would perturb placement;
+        accounting and other read-only callers use this instead.
+        """
+        name = _RS_FOR_CLASS.get(inst.static.op_class)
+        if name is not None:
+            return self.stations[name].can_insert(now)
+        return (self.stations["simple0"].can_insert(now)
+                or self.stations["simple1"].can_insert(now))
+
     def accept(self, inst: DynInst, now: int) -> bool:
         """Insert ``inst`` into its reservation station; False if full."""
         station = self._station_for(inst.static.op_class, now)

@@ -21,6 +21,10 @@ import dataclasses
 from collections import Counter
 from typing import Dict, List
 
+from repro.core.accounting import (  # noqa: F401  (re-export)
+    CYCLE_LOSS_CATEGORIES,
+    CycleAccounting,
+)
 from repro.core.pipeline import Pipeline
 from repro.isa import DynInst
 
@@ -119,36 +123,47 @@ class LifetimeRecorder:
 STALL_CATEGORIES = (
     "retiring",        # the head retired this cycle
     "empty",           # ROB empty (front-end starved)
-    "exec_wait",       # head issued but not yet complete: execution/memory
+    "exec_wait",       # head dispatched, executing a non-memory op
+    "mem_wait",        # head dispatched, executing a memory op
     "not_dispatched",  # head still waiting in a reservation station
-    "complete_wait",   # head complete, retired next cycle (width effects)
 )
 
 
 class StallAttributor:
-    """Classifies every cycle by the state of the ROB head."""
+    """Classifies every cycle by the state of the ROB head.
+
+    Counts are kept both overall (:attr:`counts`) and per cluster
+    (:attr:`cluster_counts`, keyed ``(cluster, category)`` with cluster
+    ``-1`` for empty-window cycles), so the CPI stack can be broken
+    down by where the blocking instruction was placed.  For full
+    retire-*slot* accounting — the per-category decomposition of the
+    IPC gap versus the ideal-width machine — see the always-on
+    :class:`CycleAccounting` at ``pipeline.accounting``.
+    """
 
     def __init__(self, pipeline: Pipeline) -> None:
         self.pipeline = pipeline
         self.counts: Counter = Counter()
+        self.cluster_counts: Counter = Counter()
 
     def observe_cycle(self) -> str:
         """Classify the current cycle (call once per cycle, then step)."""
         pipeline = self.pipeline
         now = pipeline.now
+        cluster = -1
         if not pipeline.rob:
             category = "empty"
         else:
             head = pipeline.rob[0]
+            cluster = head.cluster
             if head.complete_cycle >= 0 and head.complete_cycle <= now:
                 category = "retiring"
             elif head.dispatch_cycle >= 0:
-                category = "exec_wait"
-            elif head.issue_cycle >= 0:
-                category = "not_dispatched"
+                category = "mem_wait" if head.static.is_mem else "exec_wait"
             else:
-                category = "complete_wait"
+                category = "not_dispatched"
         self.counts[category] += 1
+        self.cluster_counts[(cluster, category)] += 1
         return category
 
     def run(self, cycles: int) -> Dict[str, float]:
@@ -184,3 +199,8 @@ class StallAttributor:
             registry.gauge(
                 f"{prefix}.fraction", category=category,
             ).set(breakdown[category])
+        for (cluster, category), cycles in self.cluster_counts.items():
+            registry.counter(
+                f"{prefix}.cluster_cycles",
+                cluster=cluster, category=category,
+            ).inc(cycles)

@@ -100,6 +100,24 @@ class FetchEngine:
                 return True
         return now < self._blocked_until
 
+    def stall_kind(self, now: int) -> Optional[str]:
+        """Why fetch is stalled right now, without touching state.
+
+        ``'mispredict'`` while an unresolved mispredicted branch (plus
+        its redirect penalty) blocks fetch, ``'icache_miss'`` while the
+        front end waits on an instruction line, else ``None``.  Pure —
+        unlike :meth:`blocked`, which clears resolved redirects — so
+        cycle accounting can classify front-end stalls mid-cycle.
+        """
+        branch = self._blocked_branch
+        if branch is not None:
+            resolve = branch.complete_cycle
+            if resolve < 0 or now < resolve + self.config.redirect_penalty:
+                return "mispredict"
+        if now < self._blocked_until:
+            return "icache_miss"
+        return None
+
     def fetch(self, now: int) -> Tuple[List[DynInst], int]:
         """Fetch one packet; returns (instructions, extra_ready_delay).
 

@@ -36,6 +36,7 @@ from repro.assign.issue_time import IssueTimeSteering
 from repro.cluster.cluster import Cluster
 from repro.cluster.config import MachineConfig
 from repro.cluster.interconnect import Interconnect
+from repro.core.accounting import CycleAccounting
 from repro.core.fetch import FetchEngine, StreamCursor
 from repro.core.stats import SimStats
 from repro.isa import DynInst
@@ -106,6 +107,9 @@ class Pipeline:
         #: (the default) keeps the hot paths at one attribute test per
         #: event; attach via ``observer.attach(pipeline)``.
         self.observer = None
+        #: Always-on top-down cycle-loss attribution (read-only over the
+        #: machine state, so it cannot perturb timing).
+        self.accounting = CycleAccounting(config.width)
         self.rob: Deque[DynInst] = deque()
         self.frontend: Deque[Tuple[int, DynInst]] = deque()
         self._pending_stores: List[Tuple[int, DynInst]] = []
@@ -148,6 +152,7 @@ class Pipeline:
     def reset_stats(self) -> None:
         """Zero all statistics after warmup; machine state is preserved."""
         self.stats.reset()
+        self.accounting.reset()
         self.fill_unit.reset_stats()
         self.strategy.reset_stats()
         self.fetch_engine.reset_stats()
@@ -166,7 +171,11 @@ class Pipeline:
     # ------------------------------------------------------------------
     def step(self) -> None:
         now = self.now
+        retired_before = self.stats.retired
         self._retire(now)
+        # Classified post-retire: the (new) ROB head is exactly the
+        # instruction that blocked this cycle's unfilled retire slots.
+        self.accounting.observe(self, self.stats.retired - retired_before)
         self._execute(now)
         self.fill_unit.tick(now)
         self._issue(now)

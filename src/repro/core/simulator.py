@@ -57,6 +57,27 @@ class SimResult:
     mispredict_rate: float
     tc_hit_rate: float
     l1d_hit_rate: float
+    # Top-down cycle accounting (see repro.core.accounting): machine
+    # width (the ideal IPC) and lost retire slots per cluster per
+    # category.  Categories sum to ``width * cycles - retired`` exactly,
+    # so the attribution decomposes the IPC gap by construction.
+    width: int = 0
+    cycle_accounting: Dict[str, Dict[str, int]] = dataclasses.field(
+        default_factory=dict)
+
+    @property
+    def ipc_gap(self) -> float:
+        """IPC lost versus the ideal-width machine."""
+        return self.width - self.ipc
+
+    def ipc_loss_by_category(self) -> Dict[str, float]:
+        """IPC lost per accounting category (summed across clusters)."""
+        cycles = self.cycles or 1
+        totals: Dict[str, float] = {}
+        for per_cluster in self.cycle_accounting.values():
+            for category, slots in per_cluster.items():
+                totals[category] = totals.get(category, 0.0) + slots / cycles
+        return totals
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-dict form (JSON-serialisable) of this result.
@@ -162,6 +183,8 @@ class Simulator:
             mispredict_rate=stats.mispredict_rate,
             tc_hit_rate=pipeline.trace_cache.hit_rate,
             l1d_hit_rate=pipeline.memory.l1d.hit_rate,
+            width=self.config.width,
+            cycle_accounting=pipeline.accounting.to_dict(),
         )
 
     def publish_metrics(self, registry) -> None:
@@ -180,6 +203,7 @@ class Simulator:
             "fill.chain_migration_rate").set(fill.chain_migration_rate)
         registry.gauge("tc.hit_rate").set(pipeline.trace_cache.hit_rate)
         registry.gauge("l1d.hit_rate").set(pipeline.memory.l1d.hit_rate)
+        pipeline.accounting.publish(registry)
 
 
 def simulate(

@@ -11,10 +11,14 @@ artifacts under a telemetry directory:
 
 ``manifest.json``
     Snapshot of the *latest* run: engine report, cache counters,
-    per-job records (key, label, final status, retries, seconds), plus
-    host info and the repository's git SHA when available.  Written
-    atomically (temp file + ``os.replace``) so a crashed run never
-    leaves a torn manifest.
+    per-job records (key, label, benchmark, strategy, seed, budgets,
+    final status, retries, seconds, and — schema v2 — the full
+    ``SimResult`` in ``to_dict`` form), plus host info and the
+    repository's git SHA when available.  Written atomically (temp
+    file + ``os.replace``) so a crashed run never leaves a torn
+    manifest.  Carrying results makes the manifest self-contained:
+    ``repro analyze`` and ``repro diff`` consume it without re-running
+    anything.
 
 The writer is deliberately decoupled from the engine: it only reads
 attributes off the :class:`~repro.runtime.observe.JobEvent` and
@@ -34,7 +38,9 @@ import time
 from typing import Dict, List, Optional
 
 #: Manifest document schema; bump on incompatible layout changes.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2: job records carry benchmark/strategy/seed/instruction budgets
+#: and the full per-job result payload.
+MANIFEST_SCHEMA_VERSION = 2
 
 
 def host_info() -> dict:
@@ -60,6 +66,27 @@ def git_sha(cwd: Optional[str] = None) -> Optional[str]:
     if proc.returncode != 0:
         return None
     return proc.stdout.strip() or None
+
+
+def _job_identity(job) -> dict:
+    """Duck-typed identity fields of a ``SimJob`` for the manifest.
+
+    ``benchmark`` is a catalog name or an ad-hoc ``Program`` (use its
+    ``name``); ``strategy`` is the spec's human label.  Everything is
+    read with ``getattr`` so the writer stays decoupled from
+    :mod:`repro.runtime`.
+    """
+    benchmark = getattr(job, "benchmark", None)
+    if benchmark is not None and not isinstance(benchmark, str):
+        benchmark = getattr(benchmark, "name", str(benchmark))
+    spec = getattr(job, "spec", None)
+    return {
+        "benchmark": benchmark,
+        "strategy": getattr(spec, "label", None) if spec is not None else None,
+        "seed": getattr(job, "seed", None),
+        "instructions": getattr(job, "instructions", None),
+        "warmup": getattr(job, "warmup", None),
+    }
 
 
 class TelemetryWriter:
@@ -92,7 +119,9 @@ class TelemetryWriter:
                 "status": "pending",
                 "retries": 0,
                 "elapsed": 0.0,
+                "result": None,
             }
+            record.update(_job_identity(job))
             self._jobs.append(record)
             self._by_index[index] = record
         self._append({
@@ -102,6 +131,7 @@ class TelemetryWriter:
 
     def record(self, event) -> None:
         """Log one :class:`JobEvent` and fold it into the job records."""
+        result = getattr(event, "result", None)
         record = self._by_index.get(event.index)
         if record is not None:
             if event.status == "hit":
@@ -111,6 +141,8 @@ class TelemetryWriter:
             elif event.status == "done":
                 record["status"] = "executed"
                 record["elapsed"] = event.elapsed
+            if result is not None:
+                record["result"] = result.to_dict()
         self._append({
             "event": "job", "run": self._run, "ts": time.time(),
             "index": event.index, "label": event.job.label,
@@ -118,6 +150,7 @@ class TelemetryWriter:
             "status": event.status, "source": event.source,
             "elapsed": event.elapsed, "completed": event.completed,
             "total": event.total,
+            "ipc": getattr(result, "ipc", None),
         })
 
     def finalize(self, report, cache_stats=None) -> str:

@@ -111,7 +111,8 @@ class ExperimentEngine:
             if cached is not None:
                 results[index] = cached
                 report.cache_hits += 1
-                self._emit(report, index, job, "hit", 0.0, "cache")
+                self._emit(report, index, job, "hit", 0.0, "cache",
+                           result=cached)
             else:
                 pending.append((index, job))
 
@@ -225,15 +226,18 @@ class ExperimentEngine:
         results[index] = result
         report.executed += 1
         report.job_seconds.append(elapsed)
-        self._emit(report, index, job, "done", elapsed, source)
+        self._emit(report, index, job, "done", elapsed, source,
+                   result=result)
 
-    def _emit(self, report, index, job, status, elapsed, source) -> None:
+    def _emit(self, report, index, job, status, elapsed, source,
+              result=None) -> None:
         if self.progress is None and self.telemetry is None:
             return
         completed = report.cache_hits + report.executed
         event = JobEvent(
             index=index, total=report.total, job=job, status=status,
             elapsed=elapsed, completed=completed, source=source,
+            result=result,
         )
         if self.telemetry is not None:
             self.telemetry.record(event)

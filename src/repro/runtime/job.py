@@ -26,7 +26,8 @@ from repro.core.simulator import SimResult, simulate
 from repro.workloads.program import Program
 
 #: Bump on any change that invalidates previously cached results.
-JOB_SCHEMA_VERSION = 1
+#: v2: SimResult carries ``width`` and top-down ``cycle_accounting``.
+JOB_SCHEMA_VERSION = 2
 
 
 @dataclasses.dataclass(frozen=True)

@@ -13,6 +13,7 @@ import dataclasses
 import sys
 from typing import Callable, List, Optional, TextIO
 
+from repro.core.simulator import SimResult
 from repro.runtime.job import SimJob
 
 #: Event statuses, in the order a job can experience them.
@@ -30,6 +31,9 @@ class JobEvent:
     elapsed: float      #: seconds spent on this attempt (0 for hits)
     completed: int      #: jobs finished so far (hits + executions)
     source: str         #: 'cache', 'inline', or 'pool'
+    #: The job's result for 'hit'/'done' events (None on 'retry'), so
+    #: telemetry can persist per-job metrics into the run manifest.
+    result: Optional[SimResult] = None
 
 
 ProgressCallback = Callable[[JobEvent], None]
@@ -55,10 +59,13 @@ class EngineReport:
 
     @property
     def mode(self) -> str:
-        """Where the work actually ran: ``cache only`` when every job
-        was a hit, ``inline`` when (any of) the jobs executed in this
-        process, else the pool's worker count."""
-        if self.total and self.executed == 0:
+        """Where the work actually ran: ``no jobs`` for an empty run,
+        ``cache only`` when every job was a hit, ``inline`` when (any
+        of) the jobs executed in this process, else the pool's worker
+        count."""
+        if not self.total:
+            return "no jobs"
+        if self.executed == 0:
             return "cache only"
         if self.inline:
             return "inline"

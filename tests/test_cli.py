@@ -115,3 +115,74 @@ class TestConfigFile:
                             "--instructions", "800", "--warmup", "400")
         assert code == 0
         assert "IPC" in out
+
+
+class TestTraceGuards:
+    """`repro trace` fails fast on bad arguments, before simulating."""
+
+    def test_zero_events_rejected(self, capsys, tmp_path):
+        code = main(["trace", "gzip", "--events", "0",
+                     "--out", str(tmp_path / "t.json")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--events must be positive" in err
+
+    def test_negative_events_rejected(self, capsys, tmp_path):
+        code = main(["trace", "gzip", "--events", "-5",
+                     "--out", str(tmp_path / "t.json")])
+        assert code == 2
+
+    def test_unwritable_out_rejected(self, capsys, tmp_path):
+        target = tmp_path / "no-such-dir" / "t.json"
+        code = main(["trace", "gzip", "--out", str(target)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot write --out" in err
+
+    def test_out_probe_does_not_clobber(self, tmp_path):
+        target = tmp_path / "t.json"
+        target.write_text("precious")
+        code = main(["trace", "gzip", "--events", "0",
+                     "--out", str(target)])
+        # The --events guard fires first; the probe appends nothing.
+        assert code == 2
+        assert target.read_text() == "precious"
+
+
+class TestSweepSelection:
+    def test_empty_benchmark_tokens_rejected(self, capsys):
+        code = main(["sweep", "--benchmarks", ",,",
+                     "--instructions", "200", "--warmup", "100"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "empty benchmark/strategy selection" in err
+
+    def test_unknown_strategy_rejected(self, capsys):
+        code = main(["sweep", "--strategies", "nosuch",
+                     "--instructions", "200", "--warmup", "100"])
+        assert code == 2
+
+
+class TestDiffUsage:
+    def test_requires_a_reference(self, capsys):
+        code = main(["diff", "some-run"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "nothing to diff against" in err
+
+    def test_rejects_both_positional_and_against(self, capsys):
+        code = main(["diff", "a", "b", "--against", "c"])
+        assert code == 2
+
+    def test_missing_source_is_usage_error(self, capsys, tmp_path):
+        code = main(["diff", str(tmp_path / "nope"),
+                     str(tmp_path / "also-nope")])
+        assert code == 2
+
+
+class TestAnalyzeUsage:
+    def test_missing_manifest_is_usage_error(self, capsys, tmp_path):
+        code = main(["analyze", str(tmp_path / "nope")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot read manifest" in err

@@ -1,0 +1,185 @@
+"""Tests for top-down cycle accounting (repro.core.accounting)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.assign.base import StrategySpec
+from repro.cluster.config import MachineConfig
+from repro.core.accounting import (
+    CYCLE_LOSS_CATEGORIES,
+    FRONTEND,
+    CycleAccounting,
+)
+from repro.core.pipeline import Pipeline
+from repro.core.simulator import simulate
+from repro.isa import Instruction, Opcode
+from repro.obs import MetricsRegistry
+from repro.workloads.execution import FunctionalSimulator
+from repro.workloads.program import BasicBlock, Program
+
+
+def micro_program(body, name="micro"):
+    """Single looping basic block over ``body`` (plus a closing JMP)."""
+    body = list(body) + [Instruction(4 * len(body), Opcode.JMP, None, ())]
+    blocks = [BasicBlock(0, body, taken_succ=0)]
+    for block in blocks:
+        for instr in block.instructions:
+            instr.block_id = block.block_id
+    return Program(name, blocks, 0, {}, [])
+
+
+@pytest.fixture
+def pipeline(tiny_program):
+    return Pipeline(tiny_program, MachineConfig(), StrategySpec(kind="base"))
+
+
+class TestInvariant:
+    def test_slots_conserved(self, pipeline):
+        for _ in range(800):
+            pipeline.step()
+        acc = pipeline.accounting
+        assert acc.cycles == 800
+        assert acc.retired_slots + acc.lost_slots() == 800 * acc.width
+
+    def test_reset_stats_clears_window(self, pipeline):
+        pipeline.run(300)
+        pipeline.reset_stats()
+        acc = pipeline.accounting
+        assert acc.cycles == 0
+        assert acc.retired_slots == 0
+        assert acc.lost_slots() == 0
+
+    def test_result_decomposes_ipc_gap(self):
+        result = simulate("gzip", StrategySpec(kind="base"),
+                          instructions=800, warmup=400)
+        lost = sum(slots
+                   for per_cluster in result.cycle_accounting.values()
+                   for slots in per_cluster.values())
+        assert result.retired + lost == result.cycles * result.width
+        # The acceptance bound is 1%; the construction makes it exact.
+        total_loss = sum(result.ipc_loss_by_category().values())
+        assert total_loss == pytest.approx(result.ipc_gap, rel=1e-9)
+
+    def test_only_known_categories(self, pipeline):
+        pipeline.run(1000)
+        for _cluster, category in pipeline.accounting.counts:
+            assert category in CYCLE_LOSS_CATEGORIES
+
+
+class TestCategoryReachability:
+    """Targeted micro-workloads light up each loss category."""
+
+    def run_micro(self, body, cycles=600, **config_kwargs):
+        program = micro_program(body)
+        pipeline = Pipeline(program, MachineConfig(**config_kwargs),
+                            StrategySpec(kind="base"))
+        pipeline.run(cycles)
+        return pipeline.accounting.by_category()
+
+    def test_memory_workload_charges_mem_latency(self, pipeline):
+        pipeline.run(1500)
+        losses = pipeline.accounting.by_category()
+        assert losses["mem_latency"] > 0
+        assert losses["fetch_starve"] > 0
+
+    def test_long_latency_chain_charges_exec_latency(self):
+        losses = self.run_micro([
+            Instruction(0, Opcode.DIV, 8, (8,)),
+            Instruction(4, Opcode.DIV, 9, (9,)),
+        ])
+        assert losses["exec_latency"] > 0
+        assert losses["mem_latency"] == 0
+        assert losses["mispredict_flush"] > 0
+
+    def test_unit_hog_charges_fu_contention(self):
+        # The head's operand arrives (MUL, 3 cycles) while a younger
+        # independent DIV occupies the lone complex unit for its whole
+        # issue latency: the head sits ready-but-undispatched.
+        losses = self.run_micro([
+            Instruction(0, Opcode.MUL, 8, (8,)),
+            Instruction(4, Opcode.DIV, 9, (8,)),
+            Instruction(8, Opcode.DIV, 10, (1,)),
+        ], num_clusters=1)
+        assert losses["fu_contention"] > 0
+
+    def test_tiny_rs_charges_operand_waits(self):
+        losses = self.run_micro([
+            Instruction(4 * i, Opcode.DIV, 8, (8,)) for i in range(4)
+        ], rs_entries=2)
+        assert losses["operand_wait_local"] > 0
+        assert losses["operand_wait_inter"] > 0
+
+    def test_rs_full_classification(self):
+        # Back-pressure with an empty window is only reachable through
+        # transient flush states, so exercise the classifier directly:
+        # an issueable instruction whose target cluster has no space.
+        accounting = CycleAccounting(width=4)
+        inst = SimpleNamespace(slot_cluster=2)
+        stub = SimpleNamespace(
+            rob=[],
+            now=10,
+            fetch_engine=SimpleNamespace(stall_kind=lambda now: None),
+            frontend=[(5, inst)],
+            clusters={2: SimpleNamespace(
+                has_space=lambda inst, now: False)},
+            _mem_slot_available=lambda inst: True,
+        )
+        assert accounting._classify(stub) == ("2", "rs_full")
+        stub.clusters[2].has_space = lambda inst, now: True
+        assert accounting._classify(stub) == (FRONTEND, "fetch_starve")
+
+
+class TestPurity:
+    """Accounting inspects the machine without perturbing it."""
+
+    def test_has_space_does_not_flip_toggle(self, pipeline, tiny_program):
+        inst = FunctionalSimulator(tiny_program).run(1)[0]
+        pipeline.run(50)
+        for cluster in pipeline.clusters:
+            before = cluster._simple_toggle
+            cluster.has_space(inst, pipeline.now)
+            cluster.has_space(inst, pipeline.now)
+            assert cluster._simple_toggle == before
+
+    def test_stall_kind_does_not_clear_redirects(self, pipeline):
+        pipeline.run(200)
+        fetch = pipeline.fetch_engine
+        before = fetch._blocked_branch
+        fetch.stall_kind(pipeline.now)
+        assert fetch._blocked_branch is before
+
+
+class TestViews:
+    def test_by_category_covers_all_categories(self, pipeline):
+        pipeline.run(400)
+        assert set(pipeline.accounting.by_category()) == set(
+            CYCLE_LOSS_CATEGORIES)
+
+    def test_to_dict_nested_and_nonzero(self, pipeline):
+        pipeline.run(400)
+        nested = pipeline.accounting.to_dict()
+        assert nested
+        for cluster, per_cluster in nested.items():
+            assert isinstance(cluster, str)
+            for category, slots in per_cluster.items():
+                assert category in CYCLE_LOSS_CATEGORIES
+                assert slots > 0
+
+    def test_ipc_loss_sums_to_gap(self, pipeline):
+        pipeline.run(400)
+        acc = pipeline.accounting
+        ipc = acc.retired_slots / acc.cycles
+        total = sum(acc.ipc_loss().values())
+        assert total == pytest.approx(acc.width - ipc)
+
+    def test_publish_and_render(self, pipeline):
+        pipeline.run(400)
+        registry = MetricsRegistry()
+        pipeline.accounting.publish(registry)
+        names = {record["name"] for record in registry.snapshot()}
+        assert any(n.startswith("accounting.lost_slots") for n in names)
+        assert any(n.startswith("accounting.ipc_loss") for n in names)
+        text = pipeline.accounting.render()
+        for category in CYCLE_LOSS_CATEGORIES:
+            assert category in text

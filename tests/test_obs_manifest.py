@@ -130,6 +130,57 @@ class TestTelemetryWriter:
         assert manifest["jobs"][0]["status"] == "executed"
 
 
+class TestManifestV2:
+    """Schema-v2 job records carry identity + full result payloads."""
+
+    def test_job_identity_fields(self, tmp_path):
+        tdir = tmp_path / "telemetry"
+        engine = ExperimentEngine(jobs=1, telemetry=str(tdir))
+        engine.run(make_jobs(("gzip",)))
+        record = load_manifest(str(tdir))["jobs"][0]
+        assert record["benchmark"] == "gzip"
+        assert record["strategy"] == "Base"
+        assert record["seed"] is None
+        assert record["instructions"] == TINY["instructions"]
+        assert record["warmup"] == TINY["warmup"]
+
+    def test_result_payload_embedded(self, tmp_path):
+        from repro.core.simulator import SimResult
+
+        tdir = tmp_path / "telemetry"
+        engine = ExperimentEngine(jobs=1, telemetry=str(tdir))
+        (result,) = engine.run(make_jobs(("gzip",)))
+        payload = load_manifest(str(tdir))["jobs"][0]["result"]
+        assert payload is not None
+        assert SimResult.from_dict(payload) == result
+        assert payload["cycle_accounting"]  # top-down accounting present
+
+    def test_cache_hits_also_carry_results(self, tmp_path):
+        tdir = tmp_path / "telemetry"
+        jobs = make_jobs(("gzip",))
+        ExperimentEngine(jobs=1).run(jobs)  # populate the cache
+        engine = ExperimentEngine(jobs=1, telemetry=str(tdir))
+        engine.run(jobs)
+        record = load_manifest(str(tdir))["jobs"][0]
+        assert record["status"] == "hit"
+        assert record["result"] is not None
+
+    def test_seed_recorded(self, tmp_path):
+        tdir = tmp_path / "telemetry"
+        job = SimJob(benchmark="gzip", spec=StrategySpec(kind="base"),
+                     config=MachineConfig(), seed=7, **TINY)
+        ExperimentEngine(jobs=1, telemetry=str(tdir)).run([job])
+        assert load_manifest(str(tdir))["jobs"][0]["seed"] == 7
+
+    def test_job_events_carry_ipc(self, tmp_path):
+        tdir = tmp_path / "telemetry"
+        ExperimentEngine(jobs=1, telemetry=str(tdir)).run(
+            make_jobs(("gzip",)))
+        job_events = [e for e in read_events(tdir) if e["event"] == "job"]
+        assert all(e["ipc"] > 0 for e in job_events
+                   if e["status"] == "done")
+
+
 class TestHostAndGit:
     def test_git_sha_in_repo(self):
         import os
