@@ -29,6 +29,14 @@ event logs plus a ``manifest.json`` run manifest, and
 ``sweep --report-json PATH`` dumps the engine report and cache counters
 as machine-readable JSON (``-`` = stdout).
 
+Resilience (see ``docs/RESILIENCE.md``): ``sweep --resume DIR`` resumes
+an interrupted sweep from its telemetry journal (SIGINT/SIGTERM write a
+``status: interrupted`` manifest first and exit 130), ``sweep
+--keep-going`` quarantines cells that exhaust their retries instead of
+aborting (exit 3 flags the partial result), and ``sweep --fault-plan
+PATH`` injects a deterministic chaos plan for testing the engine's
+degradation paths.
+
 Regression tracking (see ``docs/OBSERVABILITY.md``): ``repro analyze
 DIR`` renders top-down IPC-loss attribution and assignment-quality
 reports from a telemetry directory, ``repro baseline capture`` snapshots
@@ -189,6 +197,20 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--report-json", default=None, metavar="PATH",
                        help="write the engine report + cache counters as "
                             "JSON to PATH ('-' = stdout; matrix mode)")
+    sweep.add_argument("--resume", default=None, metavar="DIR",
+                       help="resume an interrupted sweep from its "
+                            "telemetry directory: completed cells replay "
+                            "from the events.jsonl journal + cache, only "
+                            "the remainder executes (matrix mode; "
+                            "implies --telemetry-dir DIR)")
+    sweep.add_argument("--keep-going", action="store_true",
+                       help="quarantine cells that exhaust their retries "
+                            "instead of aborting the sweep (exit code 3 "
+                            "flags the partial result; matrix mode)")
+    sweep.add_argument("--fault-plan", default=None, metavar="PATH",
+                       help="inject the deterministic FaultPlan in the "
+                            "JSON file at PATH (chaos testing; see "
+                            "docs/RESILIENCE.md; matrix mode)")
     add_runtime(sweep)
 
     analyze = sub.add_parser(
@@ -397,9 +419,19 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_sweep_matrix(args) -> int:
-    """Full benchmark × strategy matrix with live progress + cache stats."""
+    """Full benchmark × strategy matrix with live progress + cache stats.
+
+    Exit codes: 0 success, 1 jobs failed (no ``--keep-going``), 2 usage
+    error, 3 partial success (cells quarantined under ``--keep-going``),
+    130 interrupted by SIGINT/SIGTERM (resume with ``--resume``).
+    """
     from repro.experiments import ExperimentTable, run_matrix
-    from repro.runtime import ExperimentEngine, progress_printer
+    from repro.runtime import (
+        ExperimentEngine,
+        JobFailedError,
+        RunInterrupted,
+        progress_printer,
+    )
     from repro.workloads.suites import SPECINT2000_SELECTED
 
     benchmarks = (_split_tokens(args.benchmarks) if args.benchmarks
@@ -416,11 +448,60 @@ def _cmd_sweep_matrix(args) -> int:
               f"(choices: {', '.join(sorted(_STRATEGIES))})", file=sys.stderr)
         return 2
 
-    engine = ExperimentEngine(progress=progress_printer())
-    matrix = run_matrix(
-        benchmarks, specs, config=_MACHINES[args.machine](),
-        instructions=args.instructions, warmup=args.warmup, engine=engine,
+    faults = None
+    if args.fault_plan:
+        from repro.resilience import FaultPlan
+
+        try:
+            faults = FaultPlan.from_file(args.fault_plan)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot load --fault-plan {args.fault_plan}: "
+                  f"{error}", file=sys.stderr)
+            return 2
+        print(f"fault plan: {len(faults.specs)} spec(s), "
+              f"key {faults.key[:12]}…", file=sys.stderr)
+
+    resume = None
+    telemetry = args.telemetry_dir
+    if args.resume:
+        from repro.resilience import load_resume_state
+
+        try:
+            resume = load_resume_state(args.resume)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot resume from {args.resume}: {error}",
+                  file=sys.stderr)
+            return 2
+        print(resume.render(), file=sys.stderr)
+        # Keep journaling into the same directory so the resumed run
+        # finalizes the manifest it is completing.
+        telemetry = telemetry or args.resume
+
+    engine = ExperimentEngine(
+        progress=progress_printer(), telemetry=telemetry,
+        faults=faults, keep_going=args.keep_going, resume=resume,
     )
+    try:
+        matrix = run_matrix(
+            benchmarks, specs, config=_MACHINES[args.machine](),
+            instructions=args.instructions, warmup=args.warmup,
+            engine=engine,
+        )
+    except RunInterrupted as stop:
+        print(f"\n{stop}; completed cells are journaled", file=sys.stderr)
+        if engine.telemetry is not None:
+            print(f"resume with: repro sweep --resume "
+                  f"{engine.telemetry.directory}", file=sys.stderr)
+        return 130
+    except JobFailedError as error:
+        print(f"error: {error}", file=sys.stderr)
+        for failure in error.failures:
+            print(f"  [{failure.index}] {failure.job.label}: "
+                  f"{failure.reason} ({failure.attempts} attempt(s))",
+                  file=sys.stderr)
+        print("hint: --keep-going quarantines failing cells instead of "
+              "aborting the sweep", file=sys.stderr)
+        return 1
 
     table = ExperimentTable(
         f"IPC — {len(benchmarks)}x{len(specs)} matrix "
@@ -428,8 +509,12 @@ def _cmd_sweep_matrix(args) -> int:
         ["benchmark"] + [spec.label for spec in specs],
     )
     for benchmark in benchmarks:
-        table.add_row(benchmark, *(
-            f"{matrix[(benchmark, spec.label)].ipc:.3f}" for spec in specs))
+        row = []
+        for spec in specs:
+            result = matrix[(benchmark, spec.label)]
+            row.append(f"{result.ipc:.3f}" if result is not None
+                       else "FAILED")
+        table.add_row(benchmark, *row)
     print(table.render())
     print()
     print(engine.report.render())
@@ -449,7 +534,7 @@ def _cmd_sweep_matrix(args) -> int:
         else:
             with open(args.report_json, "w", encoding="utf-8") as handle:
                 handle.write(payload + "\n")
-    return 0
+    return 3 if engine.report.failed else 0
 
 
 def _split_tokens(value: str) -> List[str]:
@@ -562,7 +647,15 @@ def _apply_runtime(args) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes: 0 success, 1 failure (regressions, quarantine-worthy
+    job failures), 2 usage error, 3 partial success (``sweep
+    --keep-going`` with quarantined cells), 130 interrupted
+    (SIGINT/SIGTERM; ``sweep --resume`` picks the run back up).
+    """
+    from repro.runtime import JobFailedError
+
     args = _build_parser().parse_args(argv)
     _apply_runtime(args)
     handlers = {
@@ -583,6 +676,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; that's a clean exit.
         return 0
+    except KeyboardInterrupt as stop:
+        # Including RunInterrupted: the engine already flushed telemetry
+        # and wrote a `status: interrupted` manifest before raising.
+        print(f"\n{stop or 'interrupted'}", file=sys.stderr)
+        return 130
+    except JobFailedError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     except (KeyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -55,20 +55,26 @@ def run_matrix(
     seed: Optional[int] = None,
     progress=None,
     telemetry=None,
+    faults=None,
+    keep_going: bool = False,
+    resume=None,
     engine=None,
-) -> Dict[Tuple[str, str], SimResult]:
+) -> Dict[Tuple[str, str], Optional[SimResult]]:
     """Simulate every (benchmark, strategy) combination.
 
     Returns results keyed by ``(benchmark, spec.label)``, in
     benchmark-major order, identical to a sequential loop regardless of
     the worker count.
 
-    ``jobs``, ``cache``, ``seed``, ``progress``, and ``telemetry``
-    forward to :class:`repro.runtime.ExperimentEngine` (defaults
-    resolve from ``repro.runtime.configure`` and the ``REPRO_*``
-    environment; ``telemetry`` is a directory or
-    :class:`repro.obs.TelemetryWriter` for run manifests);
-    ``engine`` substitutes a pre-built engine, e.g. to read its
+    ``jobs``, ``cache``, ``seed``, ``progress``, ``telemetry``,
+    ``faults``, ``keep_going``, and ``resume`` forward to
+    :class:`repro.runtime.ExperimentEngine` (defaults resolve from
+    ``repro.runtime.configure`` and the ``REPRO_*`` environment;
+    ``telemetry`` is a directory or :class:`repro.obs.TelemetryWriter`
+    for run manifests; ``faults``/``keep_going``/``resume`` are the
+    resilience knobs — see ``docs/RESILIENCE.md``; with ``keep_going``
+    a quarantined cell maps to ``None``); ``engine`` substitutes a
+    pre-built engine, e.g. to read its
     :attr:`~repro.runtime.EngineReport` afterwards.
     """
     from repro.runtime import ExperimentEngine, matrix_jobs
@@ -83,6 +89,7 @@ def run_matrix(
     if engine is None:
         engine = ExperimentEngine(
             jobs=jobs, cache=cache, progress=progress, telemetry=telemetry,
+            faults=faults, keep_going=keep_going, resume=resume,
         )
     results = engine.run(list(grid.values()))
     return dict(zip(grid.keys(), results))

@@ -5,20 +5,31 @@ artifacts under a telemetry directory:
 
 ``events.jsonl``
     Append-only structured event log: one ``run_start`` line, one line
-    per job event (cache hit / retry / completion, with the job's
-    content hash and wall-clock), one ``run_end`` line.  Successive
-    runs append, so the file is the full history of the directory.
+    per job event (cache hit / journal replay / retry / completion /
+    quarantine, with the job's content hash, wall-clock, and — schema
+    v3 — the full result payload on completed lines), one ``run_end``
+    line.  Successive runs append, so the file is the full history of
+    the directory, and because completed lines carry results it doubles
+    as the *journal* that ``repro sweep --resume`` replays
+    (:mod:`repro.resilience.resume`).
 
 ``manifest.json``
-    Snapshot of the *latest* run: engine report, cache counters,
-    per-job records (key, label, benchmark, strategy, seed, budgets,
-    final status, retries, seconds, and — schema v2 — the full
-    ``SimResult`` in ``to_dict`` form), plus host info and the
-    repository's git SHA when available.  Written atomically (temp
-    file + ``os.replace``) so a crashed run never leaves a torn
-    manifest.  Carrying results makes the manifest self-contained:
-    ``repro analyze`` and ``repro diff`` consume it without re-running
-    anything.
+    Snapshot of the *latest* run: run ``status`` (``complete``,
+    ``partial``, ``failed``, ``interrupted``, or ``error``), engine
+    report, cache counters, per-job records (key, label, benchmark,
+    strategy, seed, budgets, final status, retries, failure reason,
+    seconds, and the full ``SimResult`` in ``to_dict`` form), plus host
+    info and the repository's git SHA when available.  Written
+    atomically (temp file + ``os.replace``) so a crashed run never
+    leaves a torn manifest.  Carrying results makes the manifest
+    self-contained: ``repro analyze`` and ``repro diff`` consume it
+    without re-running anything.
+
+Telemetry must never take a run down: every write is guarded, and an
+``OSError`` (full disk, revoked permissions, or an injected
+``telemetry.write`` fault) degrades the writer — the failure is
+counted in :attr:`TelemetryWriter.write_errors`, warned about once on
+stderr, and the run continues.
 
 The writer is deliberately decoupled from the engine: it only reads
 attributes off the :class:`~repro.runtime.observe.JobEvent` and
@@ -40,7 +51,14 @@ from typing import Dict, List, Optional
 #: Manifest document schema; bump on incompatible layout changes.
 #: v2: job records carry benchmark/strategy/seed/instruction budgets
 #: and the full per-job result payload.
-MANIFEST_SCHEMA_VERSION = 2
+#: v3: the manifest carries a run ``status`` (complete / partial /
+#: failed / interrupted / error), job records gain ``reason`` and the
+#: ``resumed``/``failed`` statuses, and completed ``events.jsonl``
+#: lines embed the full result payload (the resume journal).
+MANIFEST_SCHEMA_VERSION = 3
+
+#: Job-event statuses that finish a job with a correct result.
+_COMPLETED_STATUSES = ("done", "hit", "resumed")
 
 
 def host_info() -> dict:
@@ -97,6 +115,13 @@ class TelemetryWriter:
         os.makedirs(self.directory, exist_ok=True)
         self.events_path = os.path.join(self.directory, "events.jsonl")
         self.manifest_path = os.path.join(self.directory, "manifest.json")
+        #: Optional :class:`repro.resilience.FaultPlan` arming the
+        #: ``telemetry.write`` site (set by the engine for chaos runs).
+        self.faults = None
+        #: Writes that failed with OSError; telemetry degrades instead
+        #: of taking the run down.
+        self.write_errors = 0
+        self._warned = False
         self._run = 0
         self._jobs: List[dict] = []
         self._by_index: Dict[int, dict] = {}
@@ -132,18 +157,27 @@ class TelemetryWriter:
     def record(self, event) -> None:
         """Log one :class:`JobEvent` and fold it into the job records."""
         result = getattr(event, "result", None)
+        reason = getattr(event, "reason", None)
         record = self._by_index.get(event.index)
         if record is not None:
             if event.status == "hit":
                 record["status"] = "hit"
+            elif event.status == "resumed":
+                record["status"] = "resumed"
             elif event.status == "retry":
                 record["retries"] += 1
+                if reason:
+                    record["reason"] = reason
             elif event.status == "done":
                 record["status"] = "executed"
                 record["elapsed"] = event.elapsed
+                record.pop("reason", None)
+            elif event.status == "failed":
+                record["status"] = "failed"
+                record["reason"] = reason or "infrastructure failure"
             if result is not None:
                 record["result"] = result.to_dict()
-        self._append({
+        line = {
             "event": "job", "run": self._run, "ts": time.time(),
             "index": event.index, "label": event.job.label,
             "key": event.job.key if event.job.cacheable else None,
@@ -151,20 +185,37 @@ class TelemetryWriter:
             "elapsed": event.elapsed, "completed": event.completed,
             "total": event.total,
             "ipc": getattr(result, "ipc", None),
-        })
+        }
+        if reason is not None:
+            line["reason"] = reason
+        if result is not None and event.status in _COMPLETED_STATUSES:
+            # The journal: completed lines are self-contained so
+            # `--resume` can replay them even when the cache is cold or
+            # disabled and the run died before any manifest was written.
+            line["result"] = result.to_dict()
+        self._append(line)
 
-    def finalize(self, report, cache_stats=None) -> str:
+    def finalize(self, report, cache_stats=None,
+                 status: str = "complete") -> Optional[str]:
         """Close the run: append ``run_end`` and write the manifest.
 
-        Returns the manifest path.
+        ``status`` records how the run ended (``complete``,
+        ``partial``, ``failed``, ``interrupted``, or ``error``) — an
+        ``interrupted`` manifest is exactly what ``--resume`` accepts.
+        Returns the manifest path, or ``None`` when the write failed
+        (telemetry degrades, it never raises out of a run).
         """
         self._append({
             "event": "run_end", "run": self._run, "ts": time.time(),
+            "status": status,
             "elapsed": report.elapsed, "cache_hits": report.cache_hits,
             "executed": report.executed, "retried": report.retried,
+            "resumed": getattr(report, "resumed", 0),
+            "failed": getattr(report, "failed", 0),
         })
         manifest = {
             "schema": MANIFEST_SCHEMA_VERSION,
+            "status": status,
             "run": self._run,
             "created": self._started,
             "finished": time.time(),
@@ -175,15 +226,36 @@ class TelemetryWriter:
         }
         if cache_stats is not None:
             manifest["cache"] = cache_stats.to_dict()
-        self._write_atomic(self.manifest_path, manifest)
+        try:
+            self._inject_write_fault()
+            self._write_atomic(self.manifest_path, manifest)
+        except OSError as error:
+            self._degrade(error)
+            return None
         return self.manifest_path
 
     # ------------------------------------------------------------------
     # File plumbing.
     # ------------------------------------------------------------------
+    def _inject_write_fault(self) -> None:
+        if self.faults is not None and self.faults.fires("telemetry.write"):
+            raise OSError("injected telemetry write failure")
+
+    def _degrade(self, error: OSError) -> None:
+        self.write_errors += 1
+        if not self._warned:
+            self._warned = True
+            print(f"warning: telemetry write failed ({error}); "
+                  f"run continues with degraded telemetry",
+                  file=sys.stderr)
+
     def _append(self, record: dict) -> None:
-        with open(self.events_path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        try:
+            self._inject_write_fault()
+            with open(self.events_path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError as error:
+            self._degrade(error)
 
     @staticmethod
     def _write_atomic(path: str, document: dict) -> None:

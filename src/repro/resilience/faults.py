@@ -1,0 +1,262 @@
+"""Deterministic fault injection for the experiment engine.
+
+A :class:`FaultPlan` is a seeded, content-addressed description of
+*infrastructure* faults to inject at named sites inside the runtime —
+the same philosophy as :class:`~repro.runtime.job.SimJob`: everything
+that determines what goes wrong is pinned down up front, so a chaos run
+is exactly reproducible and its plan can be named by hash in CI logs
+and bug reports.
+
+Fault sites (:data:`FAULT_SITES`):
+
+``worker.crash``
+    The worker hard-exits (``os._exit``) while executing the targeted
+    job, which surfaces in the parent as ``BrokenProcessPool``.  On the
+    inline path (no separate process to kill) the same site raises
+    :class:`InjectedCrash`, which the engine treats as the identical
+    retryable infrastructure failure.
+``worker.hang``
+    The worker wedges (sleeps ``seconds``) while executing the targeted
+    job, exercising the per-job deadline + watchdog kill path.  Inline,
+    the site raises :class:`InjectedHang` immediately (an in-process
+    hang cannot be timed out without threads).
+``cache.corrupt``
+    :meth:`ResultCache.store` writes a deliberately torn entry instead
+    of the real payload, exercising corruption recovery on the next
+    load.
+``telemetry.write``
+    ``TelemetryWriter`` raises ``OSError`` inside an event-log or
+    manifest write, exercising the degraded-telemetry path (the run
+    must still complete).
+``pool.create``
+    Pool creation fails, exercising the inline-degradation path.
+
+Worker sites match deterministically on ``(index, attempt)`` — the
+engine threads both into the worker — so the same plan always faults
+the same cell on the same retry round, with no cross-process counters.
+Parent-side sites fire up to ``times`` occurrences, counted in the
+(single-threaded) parent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import random
+import time
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+#: Bump on any change to the plan's canonical serialisation.
+FAULT_PLAN_SCHEMA_VERSION = 1
+
+#: Every site a FaultSpec may name, and where it is evaluated.
+FAULT_SITES = (
+    "worker.crash",     # worker process / inline job body
+    "worker.hang",      # worker process / inline job body
+    "cache.corrupt",    # ResultCache.store (parent)
+    "telemetry.write",  # TelemetryWriter appends + manifest (parent)
+    "pool.create",      # ExperimentEngine._make_pool (parent)
+)
+
+#: Exit status of a worker killed by an injected crash (picked outside
+#: the range Python/multiprocessing use themselves, for debuggability).
+CRASH_EXIT_CODE = 78
+
+
+class InjectedFault(RuntimeError):
+    """Base class of inline-path injected infrastructure faults.
+
+    The engine treats these exactly like a dead worker: retryable,
+    never fatal to the simulation's correctness.
+    """
+
+
+class InjectedCrash(InjectedFault):
+    """Inline stand-in for a worker process hard-exiting."""
+
+
+class InjectedHang(InjectedFault):
+    """Inline stand-in for a worker process wedging until timeout."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One fault: a site plus the occurrence it fires on.
+
+    ``index``/``attempt`` scope worker sites to one (job, retry-round)
+    pair; ``None`` matches any.  ``times`` bounds parent-side sites to
+    the first N occurrences.  ``seconds`` is the hang duration (only
+    ``worker.hang`` reads it).
+    """
+
+    site: str
+    index: Optional[int] = None
+    attempt: Optional[int] = 0
+    times: int = 1
+    seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r} "
+                f"(choices: {', '.join(FAULT_SITES)})"
+            )
+
+    def matches(self, index: Optional[int], attempt: Optional[int]) -> bool:
+        """True when this spec applies to the hook's coordinates.
+
+        A constraint is enforced only when the hook supplies that
+        coordinate: worker hooks always pass concrete ``(index,
+        attempt)``, while parent-side hooks (cache, telemetry, pool)
+        have no retry attempt and usually no job index, and must not be
+        filtered out by the worker-oriented defaults.
+        """
+        if (self.index is not None and index is not None
+                and index != self.index):
+            return False
+        if (self.attempt is not None and attempt is not None
+                and attempt != self.attempt):
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        unknown = set(data) - {f.name for f in dataclasses.fields(cls)}
+        if unknown:
+            raise ValueError(f"unknown FaultSpec fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+class FaultPlan:
+    """An ordered, content-addressed collection of :class:`FaultSpec`.
+
+    The plan itself is data; the engine, cache, and telemetry writer
+    ask it :meth:`fires` / :meth:`maybe_fail_worker` at their hook
+    points.  Plans pickle cleanly so they travel into pool workers.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = (),
+                 seed: Optional[int] = None) -> None:
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = seed
+        #: Parent-side fire counters, one per spec position.
+        self._fired: List[int] = [0] * len(self.specs)
+
+    # ------------------------------------------------------------------
+    # Identity (mirrors SimJob's canonical/key contract).
+    # ------------------------------------------------------------------
+    def canonical(self) -> dict:
+        return {
+            "schema": FAULT_PLAN_SCHEMA_VERSION,
+            "seed": self.seed,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    @property
+    def key(self) -> str:
+        """Content hash of :meth:`canonical` (hex SHA-256)."""
+        payload = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "FaultPlan":
+        schema = document.get("schema", FAULT_PLAN_SCHEMA_VERSION)
+        if schema != FAULT_PLAN_SCHEMA_VERSION:
+            raise ValueError(f"unsupported fault-plan schema {schema!r}")
+        return cls(
+            specs=[FaultSpec.from_dict(s) for s in document.get("specs", [])],
+            seed=document.get("seed"),
+        )
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+    @classmethod
+    def scatter(
+        cls,
+        seed: int,
+        njobs: int,
+        sites: Sequence[str] = ("worker.crash", "worker.hang"),
+        rate: float = 0.25,
+    ) -> "FaultPlan":
+        """Seeded pseudo-random plan: fault ~``rate`` of ``njobs`` cells.
+
+        Deterministic in ``seed`` — the same arguments always produce
+        the same plan (and therefore the same :attr:`key`).
+        """
+        rng = random.Random(seed)
+        specs = []
+        for index in range(njobs):
+            if rng.random() < rate:
+                specs.append(FaultSpec(site=rng.choice(list(sites)),
+                                       index=index, attempt=0))
+        return cls(specs=specs, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Hook points.
+    # ------------------------------------------------------------------
+    def fires(self, site: str, index: Optional[int] = None,
+              attempt: Optional[int] = None) -> bool:
+        """True when a spec for ``site`` matches and has budget left.
+
+        Called from single-threaded parent code; worker processes use
+        :meth:`maybe_fail_worker`, whose matching is purely positional
+        so no counter state needs to cross the process boundary.
+        """
+        for position, spec in enumerate(self.specs):
+            if spec.site != site or not spec.matches(index, attempt):
+                continue
+            if self._fired[position] >= spec.times:
+                continue
+            self._fired[position] += 1
+            return True
+        return False
+
+    def _worker_spec(self, site: str, index: Optional[int],
+                     attempt: Optional[int]) -> Optional[FaultSpec]:
+        for spec in self.specs:
+            if spec.site == site and spec.matches(index, attempt):
+                return spec
+        return None
+
+    def maybe_fail_worker(self, index: Optional[int], attempt: int,
+                          in_worker: bool) -> None:
+        """Evaluate the worker sites for one job execution.
+
+        ``in_worker`` is True only in a genuine pool worker process (the
+        engine compares PIDs), where a crash really hard-exits and a
+        hang really sleeps.  In-process execution (inline path, or a
+        monkeypatched pool in tests) raises the equivalent
+        :class:`InjectedFault` instead, so injection can never take the
+        parent down.
+        """
+        spec = self._worker_spec("worker.crash", index, attempt)
+        if spec is not None:
+            if in_worker:
+                os._exit(CRASH_EXIT_CODE)
+            raise InjectedCrash(
+                f"injected worker crash (job {index}, attempt {attempt})"
+            )
+        spec = self._worker_spec("worker.hang", index, attempt)
+        if spec is not None:
+            if in_worker:
+                deadline = time.monotonic() + spec.seconds
+                while time.monotonic() < deadline:
+                    time.sleep(min(1.0, deadline - time.monotonic()))
+            raise InjectedHang(
+                f"injected worker hang (job {index}, attempt {attempt})"
+            )
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FaultPlan(specs={len(self.specs)}, seed={self.seed}, "
+                f"key={self.key[:12]}…)")

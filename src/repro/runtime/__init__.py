@@ -10,8 +10,11 @@ cached workload:
   :class:`~repro.core.simulator.SimResult`, keyed by job hash and
   schema version, with atomic writes (:mod:`repro.runtime.cache`);
 * :class:`ExperimentEngine` — process-pool scheduler with bounded
-  retry, per-job timeout, and inline fallback
-  (:mod:`repro.runtime.executor`);
+  retry + deterministic exponential backoff, real per-job deadlines,
+  a worker-reaping watchdog, per-job quarantine (``keep_going``),
+  journal-based resume (``resume=``), deterministic fault injection
+  (``faults=``), signal-safe graceful shutdown, and inline fallback
+  (:mod:`repro.runtime.executor`; see ``docs/RESILIENCE.md``);
 * :class:`EngineReport` / :func:`progress_printer` — timing, hit/miss
   counters, and live progress (:mod:`repro.runtime.observe`); with a
   telemetry directory configured (``REPRO_TELEMETRY_DIR`` /
@@ -40,6 +43,8 @@ from repro.runtime.cache import CacheStats, ResultCache, global_cache_stats
 from repro.runtime.executor import (
     ExperimentEngine,
     JobFailedError,
+    JobFailure,
+    RunInterrupted,
     matrix_jobs,
     run_jobs,
 )
@@ -54,7 +59,9 @@ __all__ = [
     "JOB_SCHEMA_VERSION",
     "JobEvent",
     "JobFailedError",
+    "JobFailure",
     "ResultCache",
+    "RunInterrupted",
     "SimJob",
     "configure",
     "global_cache_stats",

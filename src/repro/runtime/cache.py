@@ -80,6 +80,9 @@ class ResultCache:
         self.enabled = resolve_cache_enabled(enabled)
         self.root = resolve_cache_dir(root)
         self.stats = CacheStats()
+        #: Optional :class:`repro.resilience.FaultPlan` arming the
+        #: ``cache.corrupt`` site (set by the engine for chaos runs).
+        self.faults = None
 
     def path_for(self, job: SimJob) -> str:
         """Filesystem path of ``job``'s cache entry."""
@@ -128,6 +131,14 @@ class ResultCache:
         path = self.path_for(job)
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
+        if self.faults is not None and self.faults.fires("cache.corrupt"):
+            # Injected fault: leave a deliberately torn entry behind, as
+            # a process killed mid-write (without the atomic-rename
+            # protection) would.  The next load must recover by
+            # treating it as a miss.
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write('{"schema": ')
+            return
         payload = {
             "schema": JOB_SCHEMA_VERSION,
             "job": job.canonical(),

@@ -1,21 +1,41 @@
 """The scheduler: runs :class:`SimJob` batches, in parallel, through cache.
 
 :class:`ExperimentEngine` is the one entry point.  For each submitted
-job it first consults the :class:`~repro.runtime.cache.ResultCache`;
-misses are executed either inline (worker count 1, or when no process
-pool can be created on this platform) or on a
+job it first replays any journal checkpoint (``resume=``), then
+consults the :class:`~repro.runtime.cache.ResultCache`; misses are
+executed either inline (worker count 1, or when no process pool can be
+created on this platform) or on a
 :class:`concurrent.futures.ProcessPoolExecutor`.
 
-Failure semantics:
+Failure semantics (see ``docs/RESILIENCE.md``):
 
 * an exception raised *by the simulation itself* is deterministic and
   propagates immediately — retrying cannot help;
 * infrastructure failures — a worker process dying
-  (:class:`BrokenProcessPool`) or a per-job timeout — are retried on a
-  fresh pool up to ``retries`` times, then raise :class:`JobFailedError`;
+  (:class:`BrokenProcessPool`), a per-job deadline expiring, or an
+  injected :class:`~repro.resilience.InjectedFault` — are retried on a
+  fresh pool with deterministic exponential backoff, up to ``retries``
+  times per job; a job that exhausts its budget is *quarantined*:
+  with ``keep_going=True`` it is recorded as ``failed`` in the report
+  and manifest and the batch continues, otherwise
+  :class:`JobFailedError` (carrying the structured failure list)
+  aborts the batch;
+* per-job deadlines are real: each job's clock starts when its future
+  begins running, so a 60s timeout means 60s for every job, not 60s
+  plus however long earlier jobs blocked the harvest loop;
+* whenever a pool is abandoned (timeout, broken worker, interrupt) the
+  :mod:`repro.resilience.watchdog` force-kills wedged workers instead
+  of leaking them;
+* SIGINT/SIGTERM during :meth:`ExperimentEngine.run` raise
+  :class:`RunInterrupted` after flushing telemetry with a
+  ``status: interrupted`` manifest that ``--resume`` accepts;
 * if the pool cannot be created at all (or jobs cannot be pickled), the
   engine silently degrades to inline execution — results are identical,
   only slower.
+
+Per-job wall-clock is measured *inside* the worker (``_run_job``
+returns ``(result, elapsed)``), so reported times are true execution
+times, not execution plus harvest-queue waiting.
 
 Results are returned in submission order regardless of completion
 order, so parallel runs are byte-identical to sequential ones.
@@ -31,17 +51,24 @@ streams per-job events to ``events.jsonl`` and snapshots a
 from __future__ import annotations
 
 import concurrent.futures
+import dataclasses
 import os
+import signal
+import threading
 import time
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.simulator import SimResult
 from repro.obs.manifest import TelemetryWriter
+from repro.resilience.faults import FaultPlan, InjectedFault
+from repro.resilience.resume import ResumeState, load_resume_state
+from repro.resilience.watchdog import reap_executor
 from repro.runtime.cache import ResultCache
 from repro.runtime.job import SimJob
 from repro.runtime.observe import EngineReport, JobEvent, ProgressCallback
 from repro.runtime.settings import (
+    resolve_backoff,
     resolve_jobs,
     resolve_telemetry_dir,
     resolve_timeout,
@@ -50,18 +77,101 @@ from repro.runtime.settings import (
 #: Re-exported so tests (and exotic callers) can substitute the pool class.
 ProcessPoolExecutor = concurrent.futures.ProcessPoolExecutor
 
+#: Seam for tests: backoff sleeps go through this.
+_sleep = time.sleep
+
+#: How often the harvest loop polls for newly-running futures when a
+#: per-job timeout is set (seconds).
+_POLL_INTERVAL = 0.05
+
+#: Exponential backoff is capped here so a long retry ladder cannot
+#: stall a sweep for minutes.
+_BACKOFF_CAP = 30.0
+
+
+@dataclasses.dataclass(frozen=True)
+class JobFailure:
+    """One quarantined job: which, why, and after how many attempts."""
+
+    index: int
+    job: SimJob
+    reason: str
+    attempts: int
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "label": self.job.label,
+            "key": self.job.key if self.job.cacheable else None,
+            "reason": self.reason,
+            "attempts": self.attempts,
+        }
+
 
 class JobFailedError(RuntimeError):
-    """A job kept failing on infrastructure errors after bounded retries."""
+    """Jobs kept failing on infrastructure errors after bounded retries.
+
+    Carries the structured failure list so callers can report and
+    re-run precisely: :attr:`failures` is a list of
+    :class:`JobFailure`, :attr:`failed_jobs` the ``(index, job)``
+    pairs.
+    """
+
+    def __init__(self, failures: Sequence[JobFailure]) -> None:
+        self.failures: List[JobFailure] = list(failures)
+        first = self.failures[0] if self.failures else None
+        detail = (f"; first: {first.job.label} ({first.reason})"
+                  if first else "")
+        super().__init__(
+            f"{len(self.failures)} job(s) still failing after bounded "
+            f"retries{detail}"
+        )
+
+    @property
+    def failed_jobs(self) -> List[Tuple[int, SimJob]]:
+        return [(f.index, f.job) for f in self.failures]
 
 
-def _run_job(job: SimJob) -> SimResult:
-    """Module-level worker entry point (must be picklable by name)."""
-    return job.run()
+class RunInterrupted(KeyboardInterrupt):
+    """SIGINT/SIGTERM arrived mid-run; telemetry was flushed first.
+
+    Subclasses :class:`KeyboardInterrupt` so generic ``except
+    Exception`` recovery code never swallows a shutdown request.
+    """
+
+    def __init__(self, signum: Optional[int] = None) -> None:
+        self.signum = signum
+        name = signal.Signals(signum).name if signum else "signal"
+        super().__init__(f"run interrupted by {name}")
+
+
+def _run_job(
+    job: SimJob,
+    faults: Optional[FaultPlan] = None,
+    index: Optional[int] = None,
+    attempt: int = 0,
+    origin_pid: Optional[int] = None,
+) -> Tuple[SimResult, float]:
+    """Module-level worker entry point (must be picklable by name).
+
+    Returns ``(result, elapsed)`` with wall-clock measured around the
+    simulation itself, so recorded per-job times never include pool
+    queueing or harvest-order waiting.  ``origin_pid`` is the
+    submitting process: only a genuinely separate worker process may
+    hard-exit or sleep for injected faults — in-process execution
+    raises the equivalent :class:`InjectedFault` instead.
+    """
+    if faults is not None:
+        in_worker = origin_pid is not None and os.getpid() != origin_pid
+        faults.maybe_fail_worker(index=index, attempt=attempt,
+                                 in_worker=in_worker)
+    t0 = time.perf_counter()
+    result = job.run()
+    return result, time.perf_counter() - t0
 
 
 class ExperimentEngine:
-    """Parallel, cached executor for batches of simulation jobs."""
+    """Parallel, cached, fault-tolerant executor for simulation batches."""
 
     def __init__(
         self,
@@ -71,6 +181,10 @@ class ExperimentEngine:
         retries: int = 2,
         progress: Optional[ProgressCallback] = None,
         telemetry: Union[TelemetryWriter, str, os.PathLike, None] = None,
+        faults: Optional[FaultPlan] = None,
+        keep_going: bool = False,
+        backoff: Optional[float] = None,
+        resume: Union[ResumeState, str, os.PathLike, None] = None,
     ) -> None:
         self.workers = resolve_jobs(jobs)
         if isinstance(cache, ResultCache):
@@ -89,124 +203,374 @@ class ExperimentEngine:
             self.telemetry = (
                 TelemetryWriter(directory) if directory else None
             )
+        self.faults = faults
+        if faults is not None:
+            # Arm the parent-side fault sites.
+            self.cache.faults = faults
+            if self.telemetry is not None:
+                self.telemetry.faults = faults
+        self.keep_going = keep_going
+        self.backoff = resolve_backoff(backoff)
+        if resume is None or isinstance(resume, ResumeState):
+            self.resume = resume
+        else:
+            self.resume = load_resume_state(resume)
         #: Report of the most recent :meth:`run` call.
         self.report = EngineReport()
+        self._failures: List[JobFailure] = []
 
     # ------------------------------------------------------------------
     # Public API
 
-    def run(self, jobs: Sequence[SimJob]) -> List[SimResult]:
-        """Execute ``jobs``, returning results in submission order."""
+    def run(self, jobs: Sequence[SimJob]) -> List[Optional[SimResult]]:
+        """Execute ``jobs``, returning results in submission order.
+
+        With ``keep_going=True`` a quarantined job leaves ``None`` at
+        its position and is listed in ``report.failures``; otherwise
+        any quarantine raises :class:`JobFailedError`.
+        """
         jobs = list(jobs)
         report = EngineReport(total=len(jobs), workers=self.workers)
         self.report = report
+        self._failures = []
         if self.telemetry is not None:
             self.telemetry.start_run(jobs)
         started = time.perf_counter()
         results: List[Optional[SimResult]] = [None] * len(jobs)
+        previous_handlers = self._install_signals()
+        status = "complete"
+        try:
+            pending: List[Tuple[int, SimJob]] = []
+            for index, job in enumerate(jobs):
+                replayed = self._replay(job)
+                if replayed is not None:
+                    results[index] = replayed
+                    report.resumed += 1
+                    self._emit(report, index, job, "resumed", 0.0,
+                               "journal", result=replayed)
+                    continue
+                cached = self.cache.load(job)
+                if cached is not None:
+                    results[index] = cached
+                    report.cache_hits += 1
+                    self._emit(report, index, job, "hit", 0.0, "cache",
+                               result=cached)
+                else:
+                    pending.append((index, job))
 
-        pending: List[Tuple[int, SimJob]] = []
-        for index, job in enumerate(jobs):
-            cached = self.cache.load(job)
-            if cached is not None:
-                results[index] = cached
-                report.cache_hits += 1
-                self._emit(report, index, job, "hit", 0.0, "cache",
-                           result=cached)
-            else:
-                pending.append((index, job))
+            if pending:
+                if self.workers <= 1 or len(pending) == 1:
+                    self._run_inline(pending, results, report)
+                else:
+                    self._run_pool(pending, results, report)
+        except KeyboardInterrupt:       # including RunInterrupted
+            status = "interrupted"
+            raise
+        except JobFailedError:
+            status = "failed"
+            raise
+        except BaseException:
+            status = "error"
+            raise
+        else:
+            status = "partial" if report.failed else "complete"
+        finally:
+            self._restore_signals(previous_handlers)
+            report.elapsed = time.perf_counter() - started
+            if self.telemetry is not None:
+                try:
+                    self.telemetry.finalize(
+                        report, cache_stats=self.cache.stats, status=status,
+                    )
+                except Exception:
+                    # Telemetry trouble must never mask the run outcome.
+                    pass
+        return results
 
-        if pending:
-            if self.workers <= 1 or len(pending) == 1:
-                self._run_inline(pending, results, report)
-            else:
-                self._run_pool(pending, results, report)
+    # ------------------------------------------------------------------
+    # Signal-safe shutdown
 
-        report.elapsed = time.perf_counter() - started
-        if self.telemetry is not None:
-            self.telemetry.finalize(report, cache_stats=self.cache.stats)
-        return results  # type: ignore[return-value]
+    def _install_signals(self):
+        """Route SIGINT/SIGTERM into :class:`RunInterrupted`.
+
+        Only possible from the main thread; elsewhere the engine runs
+        with whatever disposition the host application chose.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return None
+
+        origin_pid = os.getpid()
+
+        def handler(signum, frame):
+            if os.getpid() != origin_pid:
+                # Forked pool workers inherit this handler; when the
+                # watchdog terminates them the interrupt belongs to the
+                # worker, not the engine — die quietly with the
+                # conventional fatal-signal status instead of raising
+                # RunInterrupted inside the child.
+                os._exit(128 + signum)
+            raise RunInterrupted(signum)
+
+        previous = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, handler)
+            except (ValueError, OSError, RuntimeError):
+                pass
+        return previous
+
+    def _restore_signals(self, previous) -> None:
+        for sig, old in (previous or {}).items():
+            try:
+                signal.signal(sig, old)
+            except (ValueError, OSError, RuntimeError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Journal replay
+
+    def _replay(self, job: SimJob) -> Optional[SimResult]:
+        if self.resume is None or not job.cacheable:
+            return None
+        payload = self.resume.result_payload(job.key)
+        if payload is None:
+            return None
+        try:
+            result = SimResult.from_dict(payload)
+        except Exception:
+            return None  # malformed journal payload: re-execute
+        # Warm the cache so the *next* resume (or plain re-run) hits it
+        # even if this run's journal is lost.
+        self.cache.store(job, result)
+        return result
 
     # ------------------------------------------------------------------
     # Inline path
 
-    def _run_inline(self, pending, results, report) -> None:
+    def _run_inline(self, pending, results, report,
+                    attempts=None, reasons=None) -> None:
         report.inline = True
-        for index, job in pending:
-            t0 = time.perf_counter()
-            result = _run_job(job)
-            self._complete(
-                index, job, result, time.perf_counter() - t0,
-                results, report, "inline",
-            )
+        if attempts is None:
+            attempts = {index: 0 for index, _ in pending}
+        if reasons is None:
+            reasons = {}
+        remaining = sorted(pending, key=lambda item: item[0])
+        backoff_round = 0
+        while remaining:
+            failed: List[Tuple[int, SimJob]] = []
+            for index, job in remaining:
+                try:
+                    result, elapsed = _run_job(
+                        job, faults=self.faults, index=index,
+                        attempt=attempts.get(index, 0),
+                    )
+                except InjectedFault as fault:
+                    reasons[index] = str(fault)
+                    failed.append((index, job))
+                    report.retried += 1
+                    self._emit(report, index, job, "retry", 0.0, "inline",
+                               reason=reasons[index])
+                else:
+                    self._complete(index, job, result, elapsed,
+                                   results, report, "inline")
+            remaining = self._next_round(failed, [], attempts, reasons,
+                                         results, report)
+            if remaining and failed:
+                backoff_round += 1
+                self._backoff(backoff_round, report)
 
     # ------------------------------------------------------------------
     # Pool path
 
     def _run_pool(self, pending, results, report) -> None:
-        remaining = pending
-        attempt = 0
+        attempts: Dict[int, int] = {index: 0 for index, _ in pending}
+        reasons: Dict[int, str] = {}
+        remaining = list(pending)
+        backoff_round = 0
         while remaining:
             pool = self._make_pool(len(remaining))
             if pool is None:
-                self._run_inline(remaining, results, report)
+                self._run_inline(remaining, results, report,
+                                 attempts=attempts, reasons=reasons)
                 return
             try:
-                submissions = [
-                    (index, job, pool.submit(_run_job, job))
-                    for index, job in remaining
-                ]
+                futures = {}
+                for index, job in remaining:
+                    future = pool.submit(
+                        _run_job, job, faults=self.faults, index=index,
+                        attempt=attempts[index], origin_pid=os.getpid(),
+                    )
+                    futures[future] = (index, job)
             except Exception:
                 # Unpicklable job (ad-hoc Program with exotic payload):
                 # the pool cannot help; degrade to inline.
-                pool.shutdown(wait=False)
-                self._run_inline(remaining, results, report)
+                reap_executor(pool)
+                self._run_inline(remaining, results, report,
+                                 attempts=attempts, reasons=reasons)
                 return
+            except BaseException:
+                # Interrupt mid-submission: reap before propagating.
+                reap_executor(pool)
+                raise
 
-            failed: List[Tuple[int, SimJob]] = []
-            infrastructure_broken = False
-            for index, job, future in submissions:
-                t0 = time.perf_counter()
+            clean = False
+            try:
+                failed, displaced, broken = self._harvest(
+                    futures, results, report, reasons)
+                clean = not (failed or displaced or broken)
+            finally:
+                if clean:
+                    pool.shutdown(wait=False)
+                else:
+                    # Watchdog: never leak a wedged worker.
+                    report.workers_reaped += reap_executor(pool)
+
+            remaining = self._next_round(failed, displaced, attempts,
+                                         reasons, results, report)
+            if remaining and failed:
+                backoff_round += 1
+                self._backoff(backoff_round, report)
+
+    def _harvest(self, futures, results, report, reasons):
+        """Collect one round of pool futures with real per-job deadlines.
+
+        A job's clock starts when its future is first observed running
+        (checked every :data:`_POLL_INTERVAL`), so queued jobs are not
+        charged for their predecessors.  A round with no progress for a
+        full timeout window is declared wedged even if nothing ever
+        reached the running state (a broken pool that accepts work but
+        never schedules it).  Returns ``(failed, displaced, broken)``:
+        ``failed`` jobs burned an attempt, ``displaced`` jobs were
+        cancelled before starting and retry for free, ``broken`` means
+        the pool must be reaped.
+        """
+        failed: List[Tuple[int, SimJob]] = []
+        displaced: List[Tuple[int, SimJob]] = []
+        broken = False
+        not_done = set(futures)
+        started: Dict[object, float] = {}
+        last_progress = time.monotonic()
+        while not_done:
+            if self.timeout is not None:
+                now = time.monotonic()
+                for future in not_done:
+                    if future not in started and future.running():
+                        started[future] = now
+                        last_progress = now
+            wait_for = (min(_POLL_INTERVAL, self.timeout / 4)
+                        if self.timeout is not None else None)
+            done, not_done = concurrent.futures.wait(
+                not_done, timeout=wait_for,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            for future in done:
+                index, job = futures[future]
                 try:
-                    result = future.result(timeout=self.timeout)
-                except concurrent.futures.TimeoutError:
-                    # The worker may still be wedged on this job; the
-                    # whole pool is recycled below.
-                    future.cancel()
-                    infrastructure_broken = True
-                    failed.append((index, job))
-                    report.retried += 1
-                    self._emit(report, index, job, "retry",
-                               time.perf_counter() - t0, "pool")
+                    result, elapsed = future.result()
                 except BrokenProcessPool:
-                    infrastructure_broken = True
+                    broken = True
+                    reasons[index] = "worker process died (BrokenProcessPool)"
                     failed.append((index, job))
                     report.retried += 1
-                    self._emit(report, index, job, "retry",
-                               time.perf_counter() - t0, "pool")
+                    self._emit(report, index, job, "retry", 0.0, "pool",
+                               reason=reasons[index])
+                except InjectedFault as fault:
+                    reasons[index] = str(fault)
+                    failed.append((index, job))
+                    report.retried += 1
+                    self._emit(report, index, job, "retry", 0.0, "pool",
+                               reason=reasons[index])
+                except concurrent.futures.CancelledError:
+                    displaced.append((index, job))
                 except Exception:
                     # The simulation itself raised: deterministic,
-                    # retrying is pointless — propagate.
-                    pool.shutdown(wait=False, cancel_futures=True)
+                    # retrying is pointless — propagate (the caller's
+                    # finally reaps the pool).
                     raise
                 else:
-                    self._complete(
-                        index, job, result, time.perf_counter() - t0,
-                        results, report, "pool",
-                    )
-            pool.shutdown(wait=False, cancel_futures=infrastructure_broken)
+                    self._complete(index, job, result, elapsed,
+                                   results, report, "pool")
+            if done:
+                last_progress = time.monotonic()
+            if self.timeout is None or not not_done:
+                continue
+            now = time.monotonic()
+            expired = [future for future in not_done
+                       if future in started
+                       and now - started[future] >= self.timeout]
+            if not expired and now - last_progress >= self.timeout:
+                expired = list(not_done)  # pool wedged before starting any
+            if expired:
+                broken = True
+                for future in expired:
+                    future.cancel()
+                    index, job = futures[future]
+                    reasons[index] = f"timed out after {self.timeout:g}s"
+                    failed.append((index, job))
+                    report.retried += 1
+                    self._emit(report, index, job, "retry", self.timeout,
+                               "pool", reason=reasons[index])
+                for future in not_done:
+                    if future not in expired:
+                        future.cancel()
+                        displaced.append(futures[future])
+                not_done = set()
+        return failed, displaced, broken
 
-            if not failed:
-                return
-            attempt += 1
-            if attempt > self.retries:
-                raise JobFailedError(
-                    f"{len(failed)} job(s) still failing after "
-                    f"{attempt} attempt(s); first: {failed[0][1].label}"
-                )
-            remaining = failed
+    def _next_round(self, failed, displaced, attempts, reasons,
+                    results, report):
+        """Charge attempts, quarantine exhausted jobs, order the rest.
+
+        ``failed`` arrives in completion order (a set-iteration
+        artifact); everything downstream — quarantine records, the
+        JobFailedError list, the next submission round — is sorted by
+        index so chaos runs stay deterministic.
+        """
+        next_remaining: List[Tuple[int, SimJob]] = []
+        quarantined: List[Tuple[int, SimJob]] = []
+        for index, job in sorted(failed, key=lambda item: item[0]):
+            attempts[index] = attempts.get(index, 0) + 1
+            if attempts[index] > self.retries:
+                quarantined.append((index, job))
+            else:
+                next_remaining.append((index, job))
+        for index, job in quarantined:
+            self._record_failure(
+                index, job,
+                reasons.get(index, "infrastructure failure"),
+                attempts[index], report,
+            )
+        if quarantined and not self.keep_going:
+            raise JobFailedError(self._failures)
+        next_remaining.extend(displaced)
+        next_remaining.sort(key=lambda item: item[0])
+        return next_remaining
+
+    def _record_failure(self, index, job, reason, attempts, report) -> None:
+        failure = JobFailure(index=index, job=job, reason=reason,
+                             attempts=attempts)
+        self._failures.append(failure)
+        report.failed += 1
+        report.failures.append(failure.to_dict())
+        self._emit(report, index, job, "failed", 0.0, "quarantine",
+                   reason=reason)
+
+    def _backoff(self, round_number: int, report) -> None:
+        """Deterministic exponential backoff between retry rounds.
+
+        No jitter on purpose: chaos runs must be exactly reproducible,
+        and the engine's workers are its own, so thundering-herd
+        concerns don't apply.
+        """
+        if self.backoff <= 0:
+            return
+        delay = min(self.backoff * (2 ** (round_number - 1)), _BACKOFF_CAP)
+        report.backoff_seconds += delay
+        _sleep(delay)
 
     def _make_pool(self, pending_count: int):
+        if self.faults is not None and self.faults.fires("pool.create"):
+            return None
         try:
             return ProcessPoolExecutor(
                 max_workers=min(self.workers, pending_count)
@@ -230,14 +594,15 @@ class ExperimentEngine:
                    result=result)
 
     def _emit(self, report, index, job, status, elapsed, source,
-              result=None) -> None:
+              result=None, reason=None) -> None:
         if self.progress is None and self.telemetry is None:
             return
-        completed = report.cache_hits + report.executed
+        completed = (report.cache_hits + report.executed
+                     + report.resumed + report.failed)
         event = JobEvent(
             index=index, total=report.total, job=job, status=status,
             elapsed=elapsed, completed=completed, source=source,
-            result=result,
+            result=result, reason=reason,
         )
         if self.telemetry is not None:
             self.telemetry.record(event)
@@ -249,7 +614,7 @@ def run_jobs(
     jobs: Sequence[SimJob],
     engine: Optional[ExperimentEngine] = None,
     **engine_options,
-) -> List[SimResult]:
+) -> List[Optional[SimResult]]:
     """Convenience wrapper: run ``jobs`` on ``engine`` (or a fresh one)."""
     engine = engine if engine is not None else ExperimentEngine(**engine_options)
     return engine.run(jobs)

@@ -17,7 +17,9 @@ from repro.core.simulator import SimResult
 from repro.runtime.job import SimJob
 
 #: Event statuses, in the order a job can experience them.
-STATUSES = ("hit", "retry", "done")
+#: 'resumed' = replayed from a journal checkpoint, 'failed' = the job
+#: exhausted its retries and was quarantined.
+STATUSES = ("resumed", "hit", "retry", "done", "failed")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -30,10 +32,14 @@ class JobEvent:
     status: str         #: one of :data:`STATUSES`
     elapsed: float      #: seconds spent on this attempt (0 for hits)
     completed: int      #: jobs finished so far (hits + executions)
-    source: str         #: 'cache', 'inline', or 'pool'
-    #: The job's result for 'hit'/'done' events (None on 'retry'), so
-    #: telemetry can persist per-job metrics into the run manifest.
+    source: str         #: 'cache', 'inline', 'pool', 'journal', or
+                        #: 'quarantine'
+    #: The job's result for 'hit'/'done'/'resumed' events (None on
+    #: 'retry'/'failed'), so telemetry can persist per-job metrics into
+    #: the run manifest.
     result: Optional[SimResult] = None
+    #: Failure reason for 'retry'/'failed' events.
+    reason: Optional[str] = None
 
 
 ProgressCallback = Callable[[JobEvent], None]
@@ -47,10 +53,21 @@ class EngineReport:
     cache_hits: int = 0
     executed: int = 0
     retried: int = 0
+    #: Jobs replayed from a journal checkpoint (``--resume``).
+    resumed: int = 0
+    #: Jobs quarantined after exhausting their retry budget.
+    failed: int = 0
+    #: Structured quarantine records (``JobFailure.to_dict`` form).
+    failures: List[dict] = dataclasses.field(default_factory=list)
+    #: Total seconds slept in retry backoff.
+    backoff_seconds: float = 0.0
+    #: Wedged worker processes the watchdog had to terminate/kill.
+    workers_reaped: int = 0
     inline: bool = False
     workers: int = 1
     elapsed: float = 0.0
-    #: Per-executed-job wall-clock seconds, in completion order.
+    #: Per-executed-job wall-clock seconds, in completion order,
+    #: measured inside the worker (true execution time, no queueing).
     job_seconds: List[float] = dataclasses.field(default_factory=list)
 
     @property
@@ -60,13 +77,14 @@ class EngineReport:
     @property
     def mode(self) -> str:
         """Where the work actually ran: ``no jobs`` for an empty run,
+        ``resumed`` when journal replay (plus cache) satisfied it,
         ``cache only`` when every job was a hit, ``inline`` when (any
         of) the jobs executed in this process, else the pool's worker
         count."""
         if not self.total:
             return "no jobs"
         if self.executed == 0:
-            return "cache only"
+            return "resumed" if self.resumed else "cache only"
         if self.inline:
             return "inline"
         return f"{self.workers} workers"
@@ -81,16 +99,26 @@ class EngineReport:
     def render(self) -> str:
         """One-paragraph human-readable summary."""
         mode = self.mode
-        lines = [
+        summary = (
             f"{self.total} jobs in {self.elapsed:.2f}s ({mode}): "
             f"{self.cache_hits} cache hits ({self.hit_rate:.0%}), "
-            f"{self.executed} executed, {self.retried} retried",
-        ]
+            f"{self.executed} executed, {self.retried} retried"
+        )
+        if self.resumed:
+            summary += f", {self.resumed} resumed from journal"
+        if self.failed:
+            summary += f", {self.failed} FAILED (quarantined)"
+        lines = [summary]
         if self.job_seconds:
             mean = sum(self.job_seconds) / len(self.job_seconds)
             lines.append(
                 f"per-job time: mean {mean:.2f}s, "
                 f"max {max(self.job_seconds):.2f}s"
+            )
+        for failure in self.failures:
+            lines.append(
+                f"  FAILED {failure['label']}: {failure['reason']} "
+                f"({failure['attempts']} attempt(s))"
             )
         return "\n".join(lines)
 
@@ -101,12 +129,18 @@ def progress_printer(stream: Optional[TextIO] = None) -> ProgressCallback:
 
     def _print(event: JobEvent) -> None:
         width = len(str(event.total))
-        status = {"hit": "cached", "done": "done", "retry": "retry"}.get(
+        status = {"hit": "cached", "done": "done", "retry": "retry",
+                  "resumed": "resumed", "failed": "FAILED"}.get(
             event.status, event.status)
-        timing = "" if event.status == "hit" else f"  {event.elapsed:.1f}s"
+        if event.status in ("hit", "resumed"):
+            detail = ""
+        elif event.status == "failed":
+            detail = f"  {event.reason}" if event.reason else ""
+        else:
+            detail = f"  {event.elapsed:.1f}s"
         out.write(
             f"[{event.completed:>{width}}/{event.total}] "
-            f"{event.job.label:<36} {status}{timing}\n"
+            f"{event.job.label:<36} {status}{detail}\n"
         )
         out.flush()
 

@@ -17,6 +17,10 @@ Environment variables:
     Any non-empty value disables the result cache entirely.
 ``REPRO_JOB_TIMEOUT``
     Per-job timeout in seconds (float).  Default: no timeout.
+``REPRO_RETRY_BACKOFF``
+    Base delay, in seconds, of the deterministic exponential backoff
+    between retry rounds (``base * 2**(round-1)``, capped).  ``0``
+    disables backoff.  Default ``0.5``.
 ``REPRO_TELEMETRY_DIR``
     Directory for run telemetry (``events.jsonl`` + ``manifest.json``,
     see ``docs/OBSERVABILITY.md``).  Default: telemetry disabled.
@@ -110,3 +114,13 @@ def resolve_timeout(explicit: Optional[float] = None) -> Optional[float]:
         return explicit
     env = os.environ.get("REPRO_JOB_TIMEOUT")
     return float(env) if env else None
+
+
+def resolve_backoff(explicit: Optional[float] = None) -> float:
+    """Resolve the retry-backoff base delay in seconds (``0`` = off)."""
+    if explicit is not None:
+        return max(0.0, float(explicit))
+    env = os.environ.get("REPRO_RETRY_BACKOFF")
+    if env:
+        return max(0.0, float(env))
+    return 0.5

@@ -107,19 +107,19 @@ class TestFallbackAndRetry:
                 rounds["count"] += 1
                 self.broken = rounds["count"] == 1
 
-            def submit(self, fn, job):
+            def submit(self, fn, *args, **kwargs):
                 future = concurrent.futures.Future()
                 if self.broken:
                     future.set_exception(BrokenProcessPool("worker died"))
                 else:
-                    future.set_result(fn(job))
+                    future.set_result(fn(*args, **kwargs))
                 return future
 
             def shutdown(self, wait=True, cancel_futures=False):
                 pass
 
         monkeypatch.setattr(executor_module, "ProcessPoolExecutor", FlakyPool)
-        engine = ExperimentEngine(jobs=4, cache=False, retries=2)
+        engine = ExperimentEngine(jobs=4, cache=False, retries=2, backoff=0)
         results = engine.run(make_jobs(("gzip", "bzip2")))
         assert all(r is not None for r in results)
         assert engine.report.retried == 2  # both jobs failed round one
@@ -130,7 +130,7 @@ class TestFallbackAndRetry:
             def __init__(self, max_workers=None):
                 pass
 
-            def submit(self, fn, job):
+            def submit(self, fn, *args, **kwargs):
                 return concurrent.futures.Future()  # never completes
 
             def shutdown(self, wait=True, cancel_futures=False):
@@ -139,9 +139,15 @@ class TestFallbackAndRetry:
         monkeypatch.setattr(
             executor_module, "ProcessPoolExecutor", HangingPool)
         engine = ExperimentEngine(
-            jobs=4, cache=False, timeout=0.01, retries=1)
-        with pytest.raises(JobFailedError):
+            jobs=4, cache=False, timeout=0.01, retries=1, backoff=0)
+        with pytest.raises(JobFailedError) as excinfo:
             engine.run(make_jobs(("gzip", "bzip2")))
+        # Structured context: every failed (index, job) pair plus reason.
+        failures = excinfo.value.failures
+        assert [f.index for f in failures] == [0, 1]
+        assert all("timed out" in f.reason for f in failures)
+        assert all(f.attempts == 2 for f in failures)
+        assert excinfo.value.failed_jobs[0][1].label == "gzip × Base"
 
     def test_deterministic_job_error_propagates_immediately(self, monkeypatch):
         def explode(*args, **kwargs):
