@@ -29,6 +29,14 @@ event logs plus a ``manifest.json`` run manifest, and
 ``sweep --report-json PATH`` dumps the engine report and cache counters
 as machine-readable JSON (``-`` = stdout).
 
+Live observability: ``--serve PORT`` (also ``REPRO_SERVE_PORT``; ``0``
+= ephemeral) starts an in-run HTTP exporter with Prometheus
+``/metrics`` plus ``/jobs``, ``/runs``, and ``/healthz`` JSON;
+``repro top DIR|URL`` tails a running sweep's heartbeats and journal
+as a live per-job table; and ``repro profile BENCH`` reports the
+per-phase (fetch/assign/execute/fill) wall-clock split of one
+simulation, with ``--out`` exporting a speedscope JSON profile.
+
 Resilience (see ``docs/RESILIENCE.md``): ``sweep --resume DIR`` resumes
 an interrupted sweep from its telemetry journal (SIGINT/SIGTERM write a
 ``status: interrupted`` manifest first and exit 130), ``sweep
@@ -117,6 +125,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write engine run telemetry (events.jsonl + "
                             "manifest.json) under DIR "
                             "(default $REPRO_TELEMETRY_DIR or off)")
+        p.add_argument("--serve", default=None, metavar="PORT", type=int,
+                       help="serve live run telemetry over HTTP on PORT "
+                            "(/metrics /jobs /runs /healthz; 0 = "
+                            "ephemeral; default $REPRO_SERVE_PORT or off)")
 
     def add_common(p):
         p.add_argument("--instructions", type=int, default=30_000,
@@ -212,6 +224,37 @@ def _build_parser() -> argparse.ArgumentParser:
                             "JSON file at PATH (chaos testing; see "
                             "docs/RESILIENCE.md; matrix mode)")
     add_runtime(sweep)
+
+    top = sub.add_parser(
+        "top",
+        help="live per-job view of a running sweep "
+             "(from a telemetry dir or a --serve URL)")
+    top.add_argument("source",
+                     help="telemetry directory or telemetry-server URL")
+    top.add_argument("--interval", type=float, default=1.0, metavar="S",
+                     help="seconds between refreshes (default 1)")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit")
+    top.add_argument("--no-color", action="store_true",
+                     help="plain output even on a TTY")
+    top.add_argument("--stale-after", type=float, default=None, metavar="S",
+                     help="flag workers silent for S seconds as stale")
+
+    profile = sub.add_parser(
+        "profile",
+        help="per-phase wall-clock profile of one simulation "
+             "(fetch/assign/execute/fill; speedscope export)")
+    profile.add_argument("benchmark")
+    profile.add_argument("--strategy", choices=sorted(_STRATEGIES),
+                         default="fdrt")
+    profile.add_argument("--out", default=None, metavar="PATH",
+                         help="write a speedscope JSON profile to PATH "
+                              "(open in https://www.speedscope.app)")
+    profile.add_argument("--sample-cycles", type=int, default=1_000,
+                         metavar="N",
+                         help="cycles per speedscope sample frame "
+                              "(default 1000; 0 = totals only)")
+    add_common(profile)
 
     analyze = sub.add_parser(
         "analyze",
@@ -502,6 +545,8 @@ def _cmd_sweep_matrix(args) -> int:
         print("hint: --keep-going quarantines failing cells instead of "
               "aborting the sweep", file=sys.stderr)
         return 1
+    finally:
+        engine.close()
 
     table = ExperimentTable(
         f"IPC — {len(benchmarks)}x{len(specs)} matrix "
@@ -540,6 +585,43 @@ def _cmd_sweep_matrix(args) -> int:
 def _split_tokens(value: str) -> List[str]:
     """Comma-split a CLI list, dropping empty tokens (``"a,,b"``)."""
     return [token.strip() for token in value.split(",") if token.strip()]
+
+
+def _cmd_top(args) -> int:
+    from repro.obs.top import run_top
+
+    return run_top(
+        args.source,
+        interval=args.interval,
+        once=args.once,
+        ansi=False if args.no_color else None,
+        stale_after=args.stale_after,
+    )
+
+
+def _cmd_profile(args) -> int:
+    from repro.core.simulator import simulate
+    from repro.obs.profiler import PhaseProfiler
+
+    if args.sample_cycles < 0:
+        print(f"error: --sample-cycles must be >= 0 "
+              f"(got {args.sample_cycles})", file=sys.stderr)
+        return 2
+    spec = _STRATEGIES[args.strategy]
+    profiler = PhaseProfiler(sample_cycles=args.sample_cycles)
+    result = simulate(
+        args.benchmark, spec, config=_machine(args),
+        instructions=args.instructions, warmup=args.warmup,
+        profiler=profiler,
+    )
+    print(profiler.render())
+    print(f"simulated: {result.retired} instructions over "
+          f"{result.cycles} cycles (IPC {result.ipc:.3f})")
+    if args.out:
+        profiler.write(args.out)
+        print(f"speedscope profile: {args.out} "
+              f"(open in https://www.speedscope.app)")
+    return 0
 
 
 def _cmd_analyze(args) -> int:
@@ -643,6 +725,7 @@ def _apply_runtime(args) -> None:
         jobs=getattr(args, "jobs", None),
         cache=False if getattr(args, "no_cache", False) else None,
         telemetry_dir=getattr(args, "telemetry_dir", None),
+        serve=getattr(args, "serve", None),
     )
 
 
@@ -667,6 +750,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "energy": _cmd_energy,
         "sweep": _cmd_sweep,
+        "top": _cmd_top,
+        "profile": _cmd_profile,
         "analyze": _cmd_analyze,
         "baseline": _cmd_baseline,
         "diff": _cmd_diff,

@@ -107,6 +107,17 @@ class Pipeline:
         #: (the default) keeps the hot paths at one attribute test per
         #: event; attach via ``observer.attach(pipeline)``.
         self.observer = None
+        #: Optional :class:`repro.obs.profiler.PhaseProfiler` timing the
+        #: step phases; same ``is not None`` fast path as ``observer``.
+        self.profiler = None
+        #: Optional in-run progress hook ``hook(pipeline)`` invoked every
+        #: ``progress_interval`` cycles inside :meth:`run` (e.g. a
+        #: :class:`repro.obs.heartbeat.HeartbeatWriter`).  Hooks must
+        #: only *read* pipeline state: results stay byte-identical with
+        #: a hook installed or not.
+        self.progress_hook = None
+        self.progress_interval = 0
+        self._next_progress = 0
         #: Always-on top-down cycle-loss attribution (read-only over the
         #: machine state, so it cannot perturb timing).
         self.accounting = CycleAccounting(config.width)
@@ -138,10 +149,15 @@ class Pipeline:
     def run(self, max_instructions: int) -> SimStats:
         """Simulate until ``max_instructions`` retire (or stream ends)."""
         target = self.stats.retired + max_instructions
+        hook = self.progress_hook
         while self.stats.retired < target:
             if self._drained():
                 break
             self.step()
+            if hook is not None and self.now >= self._next_progress:
+                self._next_progress = self.now + max(
+                    1, self.progress_interval)
+                hook(self)
             if self.now - self._last_retire_cycle > _WATCHDOG_CYCLES:
                 raise RuntimeError(
                     f"pipeline deadlock at cycle {self.now}: "
@@ -170,6 +186,9 @@ class Pipeline:
     # One cycle.
     # ------------------------------------------------------------------
     def step(self) -> None:
+        profiler = self.profiler
+        if profiler is not None:
+            return self._step_profiled(profiler)
         now = self.now
         retired_before = self.stats.retired
         self._retire(now)
@@ -180,6 +199,31 @@ class Pipeline:
         self.fill_unit.tick(now)
         self._issue(now)
         self._fetch(now)
+        self.stats.cycles += 1
+        self.now = now + 1
+
+    def _step_profiled(self, profiler) -> None:
+        """One cycle with per-phase wall-clock timing.
+
+        Must mirror :meth:`step` exactly — same calls, same order — so
+        a profiled run is byte-identical to an unprofiled one; the only
+        additions are clock reads between phases.
+        """
+        clock = profiler._clock
+        now = self.now
+        retired_before = self.stats.retired
+        t0 = clock()
+        self._retire(now)
+        self.accounting.observe(self, self.stats.retired - retired_before)
+        self._execute(now)
+        t1 = clock()
+        self.fill_unit.tick(now)
+        t2 = clock()
+        self._issue(now)
+        t3 = clock()
+        self._fetch(now)
+        t4 = clock()
+        profiler.account(t1 - t0, t2 - t1, t3 - t2, t4 - t3, now)
         self.stats.cycles += 1
         self.now = now + 1
 

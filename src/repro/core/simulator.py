@@ -146,6 +146,20 @@ class Simulator:
         self.config = config if config is not None else MachineConfig()
         self.pipeline = Pipeline(self.program, self.config, self.spec, seed=seed)
 
+    def progress(self, hook, every: int = 2_000) -> None:
+        """Install an in-run progress hook, called every ``every`` cycles.
+
+        ``hook(pipeline)`` fires inside :meth:`run`/:meth:`warmup` loops
+        (e.g. a :class:`repro.obs.heartbeat.HeartbeatWriter` beating
+        live worker state to disk).  Hooks must only read pipeline
+        state; simulated results are byte-identical with or without
+        one.  Pass ``hook=None`` to uninstall.
+        """
+        if every <= 0:
+            raise ValueError(f"progress interval must be positive: {every}")
+        self.pipeline.progress_hook = hook
+        self.pipeline.progress_interval = every
+
     def warmup(self, instructions: int) -> None:
         """Run ``instructions`` then zero statistics (state preserved)."""
         self.pipeline.run(instructions)
@@ -213,9 +227,27 @@ def simulate(
     instructions: int = 20_000,
     warmup: int = 5_000,
     seed: Optional[int] = None,
+    progress_hook=None,
+    progress_interval: int = 2_000,
+    profiler=None,
 ) -> SimResult:
-    """Generate the workload, warm up, measure, and return the result."""
+    """Generate the workload, warm up, measure, and return the result.
+
+    ``progress_hook`` (with ``progress_interval`` cycles between calls)
+    installs a read-only in-run hook before warmup — see
+    :meth:`Simulator.progress` — and ``profiler`` attaches a
+    :class:`repro.obs.profiler.PhaseProfiler` for the whole run.
+    Neither affects the result.
+    """
     simulator = Simulator(benchmark, spec=spec, config=config, seed=seed)
-    if warmup:
-        simulator.warmup(warmup)
-    return simulator.run(instructions)
+    if progress_hook is not None:
+        simulator.progress(progress_hook, every=progress_interval)
+    if profiler is not None:
+        profiler.attach(simulator.pipeline)
+    try:
+        if warmup:
+            simulator.warmup(warmup)
+        return simulator.run(instructions)
+    finally:
+        if profiler is not None:
+            profiler.detach()

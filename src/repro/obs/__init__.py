@@ -17,6 +17,22 @@ Three pillars (see ``docs/OBSERVABILITY.md``):
   engine (:mod:`repro.obs.manifest`), enabled with ``--telemetry-dir``
   / ``REPRO_TELEMETRY_DIR``.
 
+Plus the *live* layer built on those pillars (same doc, "Live
+observability" section):
+
+* :class:`TelemetryServer` — an in-run HTTP exporter (``/metrics``
+  Prometheus text, ``/jobs``, ``/runs``, ``/healthz``) the engine
+  starts with ``--serve PORT`` / ``REPRO_SERVE_PORT``
+  (:mod:`repro.obs.server`);
+* :class:`HeartbeatWriter` / :class:`HeartbeatMonitor` — the worker
+  heartbeat channel: live progress records on disk, staleness
+  detection feeding the engine's watchdog (:mod:`repro.obs.heartbeat`);
+* :class:`PhaseProfiler` — deterministic per-phase wall-clock split of
+  the pipeline hot path, exportable as speedscope JSON
+  (:mod:`repro.obs.profiler`);
+* ``repro top`` — the terminal client tailing a telemetry directory or
+  server URL (:mod:`repro.obs.top`).
+
 Quickstart::
 
     from repro import Simulator, StrategySpec
@@ -33,6 +49,13 @@ Quickstart::
     print(registry.to_dict()["counters"])
 """
 
+from repro.obs.heartbeat import (
+    HEARTBEAT_SCHEMA_VERSION,
+    HeartbeatMonitor,
+    HeartbeatWriter,
+    heartbeat_dir,
+    read_heartbeats,
+)
 from repro.obs.manifest import (
     MANIFEST_SCHEMA_VERSION,
     TelemetryWriter,
@@ -47,6 +70,13 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     PipelineMetrics,
+)
+from repro.obs.profiler import PHASES, PhaseProfiler
+from repro.obs.server import (
+    PROMETHEUS_CONTENT_TYPE,
+    PrometheusText,
+    TelemetryServer,
+    registry_to_prometheus,
 )
 from repro.obs.tracer import (
     FETCH_LANE,
@@ -63,14 +93,25 @@ __all__ = [
     "FETCH_LANE",
     "FILL_LANE",
     "Gauge",
+    "HEARTBEAT_SCHEMA_VERSION",
+    "HeartbeatMonitor",
+    "HeartbeatWriter",
     "Histogram",
     "MANIFEST_SCHEMA_VERSION",
     "MetricsRegistry",
     "MultiObserver",
+    "PHASES",
+    "PROMETHEUS_CONTENT_TYPE",
+    "PhaseProfiler",
     "PipelineMetrics",
     "PipelineObserver",
+    "PrometheusText",
+    "TelemetryServer",
     "TelemetryWriter",
     "git_sha",
+    "heartbeat_dir",
     "host_info",
     "load_manifest",
+    "read_heartbeats",
+    "registry_to_prometheus",
 ]

@@ -154,6 +154,19 @@ class TelemetryWriter:
             "ts": self._started, "jobs": len(self._jobs),
         })
 
+    def jobs_snapshot(self) -> List[dict]:
+        """Copy of the live per-job records (safe to serialise from
+        another thread, e.g. the telemetry server's scrape handler)."""
+        return [dict(record) for record in self._jobs]
+
+    def run_info(self) -> dict:
+        """Identity of the in-progress run (for live ``/runs`` views)."""
+        return {
+            "run": self._run,
+            "started": self._started,
+            "jobs": len(self._jobs),
+        }
+
     def record(self, event) -> None:
         """Log one :class:`JobEvent` and fold it into the job records."""
         result = getattr(event, "result", None)

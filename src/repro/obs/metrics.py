@@ -93,6 +93,54 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    @classmethod
+    def of(cls, values: Sequence[float],
+           buckets: Optional[Sequence[float]] = None) -> "Histogram":
+        """Build a histogram over ``values`` (default bucket bounds)."""
+        histogram = cls(buckets if buckets is not None else DEFAULT_BUCKETS)
+        for value in values:
+            histogram.observe(value)
+        return histogram
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1), interpolated within buckets.
+
+        The first bucket is assumed to start at 0 (all repro metrics
+        are non-negative); observations in the overflow bucket clamp to
+        the last finite bound, so tail quantiles are conservative lower
+        bounds once values exceed the bucket range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0.0
+        lower = 0.0
+        for i, bound in enumerate(self.buckets):
+            in_bucket = self.counts[i]
+            if in_bucket and cumulative + in_bucket >= target:
+                fraction = (target - cumulative) / in_bucket
+                return lower + fraction * (bound - lower)
+            cumulative += in_bucket
+            lower = bound
+        return float(self.buckets[-1])
+
+    def summary(self) -> dict:
+        """Count/sum/mean plus interpolated p50/p95/p99.
+
+        The one summary shape shared by the Prometheus exporter
+        (:mod:`repro.obs.server`) and ``EngineReport.render``.
+        """
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
     def to_dict(self) -> dict:
         return {
             "buckets": list(self.buckets),
@@ -119,6 +167,13 @@ class _NullInstrument:
 
     def observe(self, value) -> None:
         pass
+
+    def quantile(self, q) -> float:
+        return 0.0
+
+    def summary(self) -> dict:
+        return {"count": 0, "sum": 0.0, "mean": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0}
 
 
 _NULL = _NullInstrument()

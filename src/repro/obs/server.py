@@ -1,0 +1,477 @@
+"""Live telemetry HTTP exporter: in-run metrics, jobs, and health.
+
+:class:`TelemetryServer` is a stdlib-only ``ThreadingHTTPServer`` the
+:class:`~repro.runtime.executor.ExperimentEngine` starts when asked
+(``--serve PORT`` / ``REPRO_SERVE_PORT``), so a multi-hour sweep is
+observable *while it runs* instead of only after the manifest lands.
+Everything is pull-based — handlers read engine/cache/heartbeat state
+at request time, no background sampling thread — and strictly
+read-only: a scrape can never perturb a run, and simulated results are
+byte-identical with the server on or off.
+
+Endpoints:
+
+``/metrics``
+    Prometheus text exposition (version 0.0.4): the engine's job
+    counters and per-state gauges, result-cache counters, per-worker
+    heartbeat gauges (age, cycles, sim-IPC), aggregated ``profile.*``
+    phase seconds from worker heartbeats, and — when a
+    :class:`~repro.obs.metrics.MetricsRegistry` is attached — every
+    registered counter/gauge/histogram (histograms export as summaries
+    using the shared :meth:`Histogram.summary` quantiles).
+``/jobs``
+    JSON: per-job records (status, attempts, elapsed, IPC) from the
+    live manifest-v3 state, each running job annotated with its newest
+    heartbeat; plus the engine report and cache counters.  This is the
+    document ``repro top URL`` renders.
+``/runs``
+    JSON: run history parsed from ``events.jsonl`` (one entry per
+    ``run_start``/``run_end`` pair) plus the current run.
+``/healthz``
+    JSON liveness probe (200 + uptime).
+
+The server binds loopback by default; pass ``host="0.0.0.0"`` to
+expose it beyond the machine (the data is read-only but unauthenticated).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional
+
+from repro.obs.heartbeat import HeartbeatMonitor, heartbeat_dir
+
+#: Exposition content type for Prometheus text format 0.0.4.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Metric-name prefix for everything this exporter emits.
+METRIC_PREFIX = "repro_"
+
+
+def prom_name(name: str) -> str:
+    """Sanitise a dotted repro metric name into a Prometheus one."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if cleaned.startswith(METRIC_PREFIX):
+        return cleaned
+    return METRIC_PREFIX + cleaned
+
+
+def prom_labels(labels: Dict[str, object]) -> str:
+    """Render a label dict as ``{k="v",...}`` (empty string if none)."""
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        value = str(labels[key])
+        value = value.replace("\\", r"\\").replace('"', r"\"")
+        value = value.replace("\n", r"\n")
+        parts.append(f'{key}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def prom_value(value) -> str:
+    """Render a sample value; non-finite floats become ``NaN``/``Inf``."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return "NaN"
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return f"{value:.10g}"
+
+
+class PrometheusText:
+    """Accumulates exposition lines with one ``# TYPE`` per family."""
+
+    def __init__(self) -> None:
+        self._typed: Dict[str, str] = {}
+        self._lines: List[str] = []
+
+    def sample(self, name: str, kind: str, value,
+               **labels) -> None:
+        family = prom_name(name)
+        if family not in self._typed:
+            self._typed[family] = kind
+            self._lines.append(f"# TYPE {family} {kind}")
+        self._lines.append(
+            f"{family}{prom_labels(labels)} {prom_value(value)}")
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+def registry_to_prometheus(registry, text: Optional[PrometheusText] = None,
+                           ) -> PrometheusText:
+    """Export a :class:`MetricsRegistry` snapshot as Prometheus text.
+
+    Counters and gauges map directly; histograms export as summaries —
+    ``{quantile="0.5|0.95|0.99"}`` series from the shared
+    :meth:`~repro.obs.metrics.Histogram.summary` helper plus ``_sum``
+    and ``_count``.
+    """
+    text = text if text is not None else PrometheusText()
+    for (name, labels), counter in sorted(registry._counters.items()):
+        text.sample(name, "counter", counter.value, **dict(labels))
+    for (name, labels), gauge in sorted(registry._gauges.items()):
+        text.sample(name, "gauge", gauge.value, **dict(labels))
+    for (name, labels), histogram in sorted(registry._histograms.items()):
+        summary = histogram.summary()
+        plain = dict(labels)
+        for q_label, q_key in (("0.5", "p50"), ("0.95", "p95"),
+                               ("0.99", "p99")):
+            text.sample(name, "summary", summary[q_key],
+                        quantile=q_label, **plain)
+        text.sample(f"{name}_sum", "gauge", summary["sum"], **plain)
+        text.sample(f"{name}_count", "gauge", summary["count"], **plain)
+    return text
+
+
+#: Job-record statuses exported under ``repro_engine_job_state``.
+JOB_STATES = ("pending", "hit", "executed", "resumed", "failed")
+
+
+class TelemetryServer:
+    """Serves live run state over HTTP from a background thread.
+
+    All sources are optional and read at scrape time:
+
+    * ``engine`` — an :class:`ExperimentEngine`; provides the live
+      report, cache counters, and (via its telemetry writer) per-job
+      records;
+    * ``telemetry_dir`` — a run directory; provides the journal, the
+      manifest fallback, and the heartbeat channel (defaults to the
+      engine's telemetry directory when unset);
+    * ``registry`` — a :class:`MetricsRegistry` merged into
+      ``/metrics``.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        engine=None,
+        registry=None,
+        telemetry_dir: Optional[str] = None,
+        stale_after: Optional[float] = None,
+    ) -> None:
+        self.engine = engine
+        self.registry = registry
+        self._explicit_dir = (
+            os.fspath(telemetry_dir) if telemetry_dir else None)
+        self.stale_after = stale_after
+        self.host = host
+        self.port = port
+        self.started = time.time()
+        self.scrapes = 0
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def start(self) -> str:
+        """Bind and serve from a daemon thread; returns the URL."""
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):  # silence per-request spam
+                pass
+
+            def do_GET(self):
+                server.handle(self)
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-telemetry-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.url
+
+    def stop(self) -> None:
+        """Shut the server down and release the port."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Source resolution.
+    # ------------------------------------------------------------------
+    @property
+    def telemetry_dir(self) -> Optional[str]:
+        if self._explicit_dir:
+            return self._explicit_dir
+        writer = getattr(self.engine, "telemetry", None)
+        return writer.directory if writer is not None else None
+
+    def _monitor(self) -> Optional[HeartbeatMonitor]:
+        directory = self.telemetry_dir
+        if directory is None:
+            return None
+        return HeartbeatMonitor(
+            heartbeat_dir(directory), stale_after=self.stale_after)
+
+    def _jobs_records(self) -> List[dict]:
+        writer = getattr(self.engine, "telemetry", None)
+        if writer is not None:
+            return writer.jobs_snapshot()
+        directory = self.telemetry_dir
+        if directory is not None:
+            try:
+                with open(os.path.join(directory, "manifest.json"),
+                          encoding="utf-8") as handle:
+                    return list(json.load(handle).get("jobs", []))
+            except (OSError, ValueError):
+                pass
+        return []
+
+    # ------------------------------------------------------------------
+    # Documents.
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """The ``/jobs`` document: jobs + heartbeats + report + cache."""
+        monitor = self._monitor()
+        beats = monitor.by_index() if monitor is not None else {}
+        jobs = self._jobs_records()
+        for record in jobs:
+            # A result payload makes the document heavy and `top`
+            # only needs the headline number.
+            result = record.pop("result", None)
+            if result is not None:
+                if record.get("ipc") is None:
+                    record["ipc"] = result.get("ipc")
+                record.setdefault("cycles", result.get("cycles"))
+                record.setdefault("retired", result.get("retired"))
+            beat = beats.get(record.get("index"))
+            if beat is not None and record.get("status") == "pending":
+                record["heartbeat"] = beat
+        document = {
+            "generated": time.time(),
+            "jobs": jobs,
+            "heartbeats": sorted(beats.values(),
+                                 key=lambda b: b.get("index", 0)),
+        }
+        report = getattr(self.engine, "report", None)
+        if report is not None:
+            document["report"] = report.to_dict()
+        cache = getattr(self.engine, "cache", None)
+        if cache is not None:
+            document["cache"] = cache.stats.to_dict()
+        return document
+
+    def runs(self) -> dict:
+        """The ``/runs`` document: journal run history + current run."""
+        entries: List[dict] = []
+        directory = self.telemetry_dir
+        if directory is not None:
+            open_runs: Dict[int, dict] = {}
+            try:
+                with open(os.path.join(directory, "events.jsonl"),
+                          encoding="utf-8") as handle:
+                    for line in handle:
+                        try:
+                            record = json.loads(line)
+                        except ValueError:
+                            continue
+                        event = record.get("event")
+                        if event == "run_start":
+                            entry = {
+                                "run": record.get("run"),
+                                "started": record.get("ts"),
+                                "jobs": record.get("jobs"),
+                                "status": "running",
+                            }
+                            open_runs[record.get("run")] = entry
+                            entries.append(entry)
+                        elif event == "run_end":
+                            entry = open_runs.pop(
+                                record.get("run"), None)
+                            if entry is None:
+                                entry = {"run": record.get("run")}
+                                entries.append(entry)
+                            entry.update({
+                                "finished": record.get("ts"),
+                                "status": record.get("status",
+                                                     "complete"),
+                                "elapsed": record.get("elapsed"),
+                                "cache_hits": record.get("cache_hits"),
+                                "executed": record.get("executed"),
+                                "failed": record.get("failed"),
+                            })
+            except OSError:
+                pass
+        document = {"runs": entries, "telemetry_dir": directory}
+        writer = getattr(self.engine, "telemetry", None)
+        if writer is not None:
+            document["current"] = writer.run_info()
+        return document
+
+    def healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started,
+            "scrapes": self.scrapes,
+            "endpoints": ["/metrics", "/jobs", "/runs", "/healthz"],
+        }
+
+    # ------------------------------------------------------------------
+    # /metrics rendering.
+    # ------------------------------------------------------------------
+    def metrics_text(self) -> str:
+        text = PrometheusText()
+        text.sample("exporter.uptime_seconds", "gauge",
+                    time.time() - self.started)
+        text.sample("exporter.scrapes", "counter", self.scrapes)
+
+        report = getattr(self.engine, "report", None)
+        if report is not None:
+            self._engine_metrics(text, report)
+        cache = getattr(self.engine, "cache", None)
+        if cache is not None:
+            stats = cache.stats
+            for field in ("hits", "misses", "stores", "corrupt"):
+                text.sample(f"cache.{field}", "counter",
+                            getattr(stats, field))
+            text.sample("cache.hit_rate", "gauge", stats.hit_rate)
+        self._heartbeat_metrics(text)
+        if self.registry is not None:
+            registry_to_prometheus(self.registry, text)
+        return text.render()
+
+    def _engine_metrics(self, text: PrometheusText, report) -> None:
+        for field in ("total", "cache_hits", "executed", "retried",
+                      "resumed", "failed", "workers_reaped",
+                      "stale_workers", "telemetry_write_errors"):
+            text.sample(f"engine.{field}", "counter",
+                        getattr(report, field, 0))
+        text.sample("engine.workers", "gauge", report.workers)
+        text.sample("engine.backoff_seconds", "gauge",
+                    report.backoff_seconds)
+        text.sample("engine.elapsed_seconds", "gauge", report.elapsed)
+        text.sample("engine.hit_rate", "gauge", report.hit_rate)
+        states = {state: 0 for state in JOB_STATES}
+        for record in self._jobs_records():
+            status = record.get("status")
+            states[status] = states.get(status, 0) + 1
+        for state, count in sorted(states.items()):
+            text.sample("engine.job_state", "gauge", count, state=state)
+        seconds = getattr(report, "job_seconds", None)
+        if seconds:
+            summary = report.job_seconds_summary()
+            for q_label, q_key in (("0.5", "p50"), ("0.95", "p95"),
+                                   ("0.99", "p99")):
+                text.sample("engine.job_seconds", "summary",
+                            summary[q_key], quantile=q_label)
+            text.sample("engine.job_seconds_sum", "gauge", summary["sum"])
+            text.sample("engine.job_seconds_count", "gauge",
+                        summary["count"])
+
+    def _heartbeat_metrics(self, text: PrometheusText) -> None:
+        monitor = self._monitor()
+        if monitor is None:
+            return
+        records = monitor.snapshot()
+        text.sample("workers.heartbeats", "gauge", len(records))
+        profile_totals: Dict[str, float] = {}
+        stale = 0
+        for record in records:
+            labels = {"index": record.get("index"),
+                      "pid": record.get("pid")}
+            text.sample("worker.heartbeat_age_seconds", "gauge",
+                        record.get("age", 0.0), **labels)
+            text.sample("worker.cycles", "gauge",
+                        record.get("cycles", 0), **labels)
+            text.sample("worker.retired", "gauge",
+                        record.get("retired", 0), **labels)
+            text.sample("worker.ipc", "gauge",
+                        record.get("ipc", 0.0), **labels)
+            if record.get("stale"):
+                stale += 1
+            for phase, seconds in (record.get("profile") or {}).items():
+                profile_totals[phase] = (
+                    profile_totals.get(phase, 0.0) + seconds)
+        if self.stale_after is not None:
+            text.sample("workers.stale", "gauge", stale)
+        # The hot-path wall-clock split, aggregated across workers: the
+        # exporter's view of `profile.*` (see repro.obs.profiler).
+        total = sum(profile_totals.values())
+        for phase, seconds in sorted(profile_totals.items()):
+            text.sample("profile.seconds", "gauge", seconds, phase=phase)
+            if total:
+                text.sample("profile.share", "gauge", seconds / total,
+                            phase=phase)
+
+    # ------------------------------------------------------------------
+    # Request plumbing.
+    # ------------------------------------------------------------------
+    def handle(self, request: BaseHTTPRequestHandler) -> None:
+        """Route one GET; never lets an exception kill the thread."""
+        path = request.path.split("?", 1)[0].rstrip("/") or "/"
+        self.scrapes += 1
+        try:
+            if path == "/metrics":
+                body = self.metrics_text().encode("utf-8")
+                content_type = PROMETHEUS_CONTENT_TYPE
+            elif path == "/jobs":
+                body = _json_bytes(self.state())
+                content_type = "application/json"
+            elif path == "/runs":
+                body = _json_bytes(self.runs())
+                content_type = "application/json"
+            elif path in ("/", "/healthz"):
+                body = _json_bytes(self.healthz())
+                content_type = "application/json"
+            else:
+                body = _json_bytes(
+                    {"error": f"unknown endpoint {path}",
+                     "endpoints": ["/metrics", "/jobs", "/runs",
+                                   "/healthz"]})
+                self._respond(request, 404, body, "application/json")
+                return
+            self._respond(request, 200, body, content_type)
+        except Exception as error:  # a scrape must never crash a run
+            try:
+                self._respond(
+                    request, 500,
+                    _json_bytes({"error": str(error)}),
+                    "application/json",
+                )
+            except Exception:
+                pass
+
+    @staticmethod
+    def _respond(request, status: int, body: bytes,
+                 content_type: str) -> None:
+        request.send_response(status)
+        request.send_header("Content-Type", content_type)
+        request.send_header("Content-Length", str(len(body)))
+        request.end_headers()
+        request.wfile.write(body)
+
+
+def _json_bytes(document: dict) -> bytes:
+    return json.dumps(document, sort_keys=True).encode("utf-8")

@@ -1,0 +1,366 @@
+"""``repro top``: a live terminal view of a running sweep.
+
+Renders a per-job table — status, attempt count, simulated cycles,
+sim-IPC, throughput — refreshed in place, from either of the two live
+channels the runtime exposes:
+
+* a **telemetry directory**: the append-only journal
+  (``events.jsonl``) provides job statuses as they happen and the
+  ``heartbeats/`` channel provides in-flight worker progress
+  (:mod:`repro.obs.heartbeat`);
+* a **telemetry server URL** (``--serve``): the ``/jobs`` endpoint of
+  :class:`repro.obs.server.TelemetryServer`, which serves the same
+  document pre-merged.
+
+No curses: the screen is repainted with plain ANSI control sequences,
+and only when the output stream is a real TTY — piped output gets one
+clean snapshot per refresh with no control characters, the same policy
+as the engine's progress printer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.heartbeat import HeartbeatMonitor, heartbeat_dir
+
+#: Seconds between repaints unless overridden.
+DEFAULT_INTERVAL = 1.0
+
+_ANSI_RESET = "\x1b[0m"
+_ANSI_HOME_CLEAR = "\x1b[H\x1b[2J"
+_ANSI_STATUS = {
+    "executed": "\x1b[32m",   # green
+    "hit": "\x1b[2m",         # dim
+    "resumed": "\x1b[2m",
+    "running": "\x1b[36m",    # cyan
+    "stale": "\x1b[33m",      # yellow
+    "failed": "\x1b[31m",     # red
+}
+
+#: Statuses that mean a job is finished (well or badly).
+_TERMINAL = ("hit", "executed", "resumed", "failed")
+
+
+def _is_tty(stream) -> bool:
+    """True when ``stream`` is an interactive terminal (never raises)."""
+    try:
+        return bool(stream.isatty())
+    except (AttributeError, ValueError, OSError):
+        return False
+
+
+# ----------------------------------------------------------------------
+# Sources: URL (/jobs document) or telemetry directory (journal+beats).
+# ----------------------------------------------------------------------
+def is_url(source: str) -> bool:
+    return source.startswith(("http://", "https://"))
+
+
+def fetch_url_state(url: str, timeout: float = 5.0) -> dict:
+    """Fetch the ``/jobs`` document from a telemetry server."""
+    import urllib.request
+
+    url = url.rstrip("/")
+    if not url.endswith("/jobs"):
+        url += "/jobs"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        document = json.load(response)
+    document["source"] = url
+    return document
+
+
+def read_dir_state(directory: str,
+                   stale_after: Optional[float] = None) -> dict:
+    """Build the same document from a telemetry directory.
+
+    Replays ``events.jsonl`` (keeping only the newest run) exactly the
+    way :class:`~repro.obs.manifest.TelemetryWriter` folds job events
+    into records, then merges current heartbeats onto still-pending
+    jobs.  Tolerates a missing or torn journal: an empty document means
+    "no run here yet", not an error.
+    """
+    directory = os.fspath(directory)
+    by_index: Dict[int, dict] = {}
+    run = None
+    status = "waiting"
+    total = None
+    summary: Dict[str, object] = {}
+    try:
+        with open(os.path.join(directory, "events.jsonl"),
+                  encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError:
+        lines = []
+    for line in lines:
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        event = record.get("event")
+        if event == "run_start":
+            by_index = {}
+            run = record.get("run")
+            status = "running"
+            total = record.get("jobs")
+            summary = {}
+        elif event == "job":
+            index = record.get("index")
+            job = by_index.setdefault(index, {
+                "index": index,
+                "label": record.get("label"),
+                "key": record.get("key"),
+                "status": "pending",
+                "retries": 0,
+                "elapsed": 0.0,
+                "ipc": None,
+            })
+            state = record.get("status")
+            if state == "retry":
+                job["retries"] += 1
+                if record.get("reason"):
+                    job["reason"] = record["reason"]
+            elif state == "done":
+                job["status"] = "executed"
+                job["elapsed"] = record.get("elapsed", 0.0)
+                job.pop("reason", None)
+            elif state in ("hit", "resumed", "failed"):
+                job["status"] = state
+                if state == "failed" and record.get("reason"):
+                    job["reason"] = record["reason"]
+            if record.get("ipc") is not None:
+                job["ipc"] = record["ipc"]
+            result = record.get("result")
+            if isinstance(result, dict):
+                job["cycles"] = result.get("cycles")
+                job["retired"] = result.get("retired")
+        elif event == "run_end":
+            status = record.get("status", "complete")
+            summary = {
+                "elapsed": record.get("elapsed"),
+                "cache_hits": record.get("cache_hits"),
+                "executed": record.get("executed"),
+                "retried": record.get("retried"),
+                "failed": record.get("failed"),
+            }
+    monitor = HeartbeatMonitor(heartbeat_dir(directory),
+                               stale_after=stale_after)
+    beats = monitor.by_index()
+    # An in-flight job may have beaten before emitting any journal
+    # event — synthesize its row from the heartbeat so `top` shows
+    # workers the moment they start, not at their first completion.
+    for index, beat in beats.items():
+        if index not in by_index:
+            by_index[index] = {
+                "index": index,
+                "label": beat.get("label"),
+                "key": beat.get("key"),
+                "status": "pending",
+                "retries": beat.get("attempt", 0),
+                "elapsed": 0.0,
+                "ipc": None,
+            }
+    jobs = [by_index[index] for index in sorted(by_index)]
+    for job in jobs:
+        beat = beats.get(job["index"])
+        if beat is not None and job.get("status") == "pending":
+            job["heartbeat"] = beat
+    return {
+        "source": directory,
+        "run": run,
+        "status": status,
+        "total": total,
+        "summary": summary,
+        "jobs": jobs,
+        "heartbeats": sorted(beats.values(),
+                             key=lambda b: b.get("index", 0)),
+    }
+
+
+def load_state(source: str,
+               stale_after: Optional[float] = None) -> dict:
+    """Dispatch on the source kind: URL or telemetry directory."""
+    if is_url(source):
+        return fetch_url_state(source)
+    return read_dir_state(source, stale_after=stale_after)
+
+
+# ----------------------------------------------------------------------
+# Rendering.
+# ----------------------------------------------------------------------
+def _fmt_int(value) -> str:
+    if value is None:
+        return "-"
+    return f"{int(value):,}"
+
+
+def _fmt_float(value, digits: int = 3) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def _job_row(job: dict) -> dict:
+    """Flatten one job record (plus optional heartbeat) for the table."""
+    status = job.get("status", "pending")
+    beat = job.get("heartbeat")
+    cycles = retired = ipc = rate = age = None
+    elapsed = job.get("elapsed") or None
+    if beat is not None:
+        if status == "pending":
+            status = "stale" if beat.get("stale") else "running"
+        cycles = beat.get("cycles")
+        retired = beat.get("retired")
+        ipc = beat.get("ipc")
+        age = beat.get("age")
+        hb_elapsed = beat.get("elapsed") or 0.0
+        if cycles and hb_elapsed > 0:
+            rate = cycles / hb_elapsed
+        elapsed = elapsed or hb_elapsed
+    result = job.get("result")
+    if isinstance(result, dict):
+        cycles = cycles if cycles is not None else result.get("cycles")
+        retired = retired if retired is not None else result.get("retired")
+    if cycles is None:
+        cycles = job.get("cycles")
+    if retired is None:
+        retired = job.get("retired")
+    if ipc is None:
+        ipc = job.get("ipc")
+    return {
+        "index": job.get("index"),
+        "status": status,
+        "label": job.get("label") or "?",
+        "retries": job.get("retries", 0),
+        "cycles": cycles,
+        "retired": retired,
+        "ipc": ipc,
+        "rate": rate,
+        "elapsed": elapsed,
+        "age": age,
+        "reason": job.get("reason"),
+    }
+
+
+def render_state(document: dict, ansi: bool = False,
+                 clock=time.strftime) -> str:
+    """Render the document as a header plus a per-job table."""
+    jobs = [_job_row(job) for job in document.get("jobs", [])]
+    total = document.get("total") or len(jobs)
+    by_status: Dict[str, int] = {}
+    for row in jobs:
+        by_status[row["status"]] = by_status.get(row["status"], 0) + 1
+    done = sum(by_status.get(status, 0) for status in _TERMINAL)
+    hits = by_status.get("hit", 0)
+    hit_rate = hits / done if done else 0.0
+    retries = sum(row["retries"] for row in jobs)
+
+    lines: List[str] = []
+    status = document.get("status", "running")
+    run = document.get("run")
+    source = document.get("source", "")
+    head = f"repro top — {source}"
+    if run is not None:
+        head += f"  (run {run}, {status})"
+    elif document.get("report") is not None:
+        head += f"  ({status})" if status else ""
+    lines.append(head)
+    lines.append(
+        f"jobs {done}/{total} done · executed {by_status.get('executed', 0)}"
+        f" · hits {hits} ({hit_rate:.0%})"
+        f" · resumed {by_status.get('resumed', 0)}"
+        f" · failed {by_status.get('failed', 0)}"
+        f" · retries {retries}"
+        f" · {clock('%H:%M:%S')}"
+    )
+    cache = document.get("cache")
+    if cache:
+        lines.append(
+            f"cache: hits {cache.get('hits', 0)}"
+            f" misses {cache.get('misses', 0)}"
+            f" stores {cache.get('stores', 0)}"
+            f" hit-rate {cache.get('hit_rate', 0.0):.0%}"
+        )
+    lines.append("")
+    header = (f"{'#':>3}  {'status':<9} {'job':<36} {'try':>3} "
+              f"{'cycles':>10} {'ipc':>7} {'kcyc/s':>8} {'time':>7} "
+              f"{'beat':>6}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    if not jobs:
+        lines.append("(no run data yet)")
+    for row in jobs:
+        status_word = f"{row['status']:<9}"
+        if ansi:
+            color = _ANSI_STATUS.get(row["status"])
+            if color:
+                status_word = f"{color}{status_word}{_ANSI_RESET}"
+        rate = (f"{row['rate'] / 1000:.1f}"
+                if row["rate"] is not None else "-")
+        elapsed = (f"{row['elapsed']:.1f}s"
+                   if row["elapsed"] is not None else "-")
+        age = f"{row['age']:.1f}s" if row["age"] is not None else "-"
+        lines.append(
+            f"{row['index'] if row['index'] is not None else '?':>3}  "
+            f"{status_word} {row['label']:<36.36} {row['retries']:>3} "
+            f"{_fmt_int(row['cycles']):>10} {_fmt_float(row['ipc']):>7} "
+            f"{rate:>8} {elapsed:>7} {age:>6}"
+        )
+        if row["reason"]:
+            lines.append(f"      ! {row['reason']}")
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# The loop.
+# ----------------------------------------------------------------------
+def run_top(
+    source: str,
+    stream=None,
+    interval: float = DEFAULT_INTERVAL,
+    once: bool = False,
+    ansi: Optional[bool] = None,
+    stale_after: Optional[float] = None,
+    max_refreshes: Optional[int] = None,
+    _sleep=time.sleep,
+) -> int:
+    """Tail ``source`` until its run finishes (or forever for ``--once=False``
+    on an idle directory).  Returns a process exit code.
+
+    ``ansi=None`` auto-detects: screen-repaint control sequences and
+    colors only when ``stream`` is a TTY.  ``max_refreshes`` bounds the
+    loop for tests.
+    """
+    import sys
+
+    stream = stream if stream is not None else sys.stdout
+    if ansi is None:
+        ansi = _is_tty(stream)
+    refreshes = 0
+    while True:
+        try:
+            document = load_state(source, stale_after=stale_after)
+        except OSError as error:
+            print(f"repro top: cannot read {source}: {error}",
+                  file=sys.stderr)
+            return 1
+        rendered = render_state(document, ansi=ansi)
+        if ansi:
+            stream.write(_ANSI_HOME_CLEAR)
+        stream.write(rendered)
+        stream.flush()
+        refreshes += 1
+        status = document.get("status", "running")
+        jobs = document.get("jobs", [])
+        finished = bool(jobs) and all(
+            job.get("status") in _TERMINAL for job in jobs)
+        if once:
+            return 0
+        if status not in ("running", "waiting") or finished:
+            return 0
+        if max_refreshes is not None and refreshes >= max_refreshes:
+            return 0
+        _sleep(interval)

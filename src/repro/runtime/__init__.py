@@ -22,6 +22,14 @@ cached workload:
   logs and ``manifest.json`` run manifests through
   :class:`repro.obs.TelemetryWriter` (see ``docs/OBSERVABILITY.md``).
 
+Live observability (``docs/OBSERVABILITY.md``, "Live observability"):
+``serve=PORT`` / ``--serve`` / ``REPRO_SERVE_PORT`` starts a
+:class:`repro.obs.TelemetryServer` HTTP exporter for the run; workers
+heartbeat their progress every ``heartbeat_cycles`` simulated cycles
+(``REPRO_HEARTBEAT_CYCLES``) through :mod:`repro.obs.heartbeat`; and
+``stale_after=S`` / ``REPRO_STALE_AFTER`` turns heartbeat silence into
+early worker reaping via the engine's watchdog.
+
 ``run_matrix`` in :mod:`repro.experiments.runner` routes every cell
 through this engine, so all experiments, benchmarks, and examples
 inherit parallelism and caching.  See ``docs/RUNTIME.md``.
@@ -49,7 +57,12 @@ from repro.runtime.executor import (
     run_jobs,
 )
 from repro.runtime.job import JOB_SCHEMA_VERSION, SimJob
-from repro.runtime.observe import EngineReport, JobEvent, progress_printer
+from repro.runtime.observe import (
+    EngineReport,
+    JobEvent,
+    progress_printer,
+    stream_is_tty,
+)
 from repro.runtime.settings import configure
 
 __all__ = [
@@ -68,4 +81,5 @@ __all__ = [
     "matrix_jobs",
     "progress_printer",
     "run_jobs",
+    "stream_is_tty",
 ]

@@ -54,12 +54,15 @@ import concurrent.futures
 import dataclasses
 import os
 import signal
+import sys
+import tempfile
 import threading
 import time
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.simulator import SimResult
+from repro.obs.heartbeat import HeartbeatMonitor, HeartbeatWriter, heartbeat_dir
 from repro.obs.manifest import TelemetryWriter
 from repro.resilience.faults import FaultPlan, InjectedFault
 from repro.resilience.resume import ResumeState, load_resume_state
@@ -69,7 +72,10 @@ from repro.runtime.job import SimJob
 from repro.runtime.observe import EngineReport, JobEvent, ProgressCallback
 from repro.runtime.settings import (
     resolve_backoff,
+    resolve_heartbeat_cycles,
     resolve_jobs,
+    resolve_serve_port,
+    resolve_stale_after,
     resolve_telemetry_dir,
     resolve_timeout,
 )
@@ -87,6 +93,10 @@ _POLL_INTERVAL = 0.05
 #: Exponential backoff is capped here so a long retry ladder cannot
 #: stall a sweep for minutes.
 _BACKOFF_CAP = 30.0
+
+#: Minimum seconds between heartbeat-staleness sweeps of the telemetry
+#: directory (each sweep is a directory listing plus small JSON reads).
+_STALE_CHECK_INTERVAL = 0.5
 
 
 @dataclasses.dataclass(frozen=True)
@@ -151,6 +161,9 @@ def _run_job(
     index: Optional[int] = None,
     attempt: int = 0,
     origin_pid: Optional[int] = None,
+    heartbeat_dir: Optional[str] = None,
+    heartbeat_cycles: int = 0,
+    profile: bool = False,
 ) -> Tuple[SimResult, float]:
     """Module-level worker entry point (must be picklable by name).
 
@@ -160,14 +173,65 @@ def _run_job(
     submitting process: only a genuinely separate worker process may
     hard-exit or sleep for injected faults — in-process execution
     raises the equivalent :class:`InjectedFault` instead.
+
+    With ``heartbeat_dir`` set the worker beats its live progress (pid,
+    job key, cycles, sim-IPC) into that directory every
+    ``heartbeat_cycles`` simulated cycles; ``profile`` additionally
+    attaches a :class:`~repro.obs.profiler.PhaseProfiler` whose
+    per-phase wall-clock split rides along in each beat.  Both are
+    read-only observers: the result is byte-identical either way.
     """
+    hook = None
+    writer = None
+    profiler = None
+    if heartbeat_dir is not None and heartbeat_cycles > 0:
+        if profile:
+            from repro.obs.profiler import PhaseProfiler
+
+            profiler = PhaseProfiler(sample_cycles=0)
+        writer = HeartbeatWriter(
+            heartbeat_dir,
+            index=index if index is not None else 0,
+            key=job.key if job.cacheable else None,
+            label=job.label,
+            attempt=attempt,
+            profiler=profiler,
+        )
+        hook = writer.beat
+    # Faults fire *after* the claim beat: a worker that wedges mid-run
+    # has already beaten at least once, so an injected hang must too —
+    # that record going silent is exactly what staleness detection sees.
     if faults is not None:
         in_worker = origin_pid is not None and os.getpid() != origin_pid
         faults.maybe_fail_worker(index=index, attempt=attempt,
                                  in_worker=in_worker)
     t0 = time.perf_counter()
-    result = job.run()
-    return result, time.perf_counter() - t0
+    result = job.run(progress_hook=hook,
+                     progress_interval=heartbeat_cycles or 2_000,
+                     profiler=profiler)
+    elapsed = time.perf_counter() - t0
+    if writer is not None:
+        writer.final(result)
+    return result, elapsed
+
+
+def _clear_heartbeats(directory: str) -> None:
+    """Drop heartbeat records left by a previous run in this directory.
+
+    Without this a fresh run could read a finished run's last record
+    (same index, same attempt number) and flag a worker stale before it
+    ever beats.
+    """
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return
+    for name in names:
+        if name.startswith("hb-") and name.endswith(".json"):
+            try:
+                os.remove(os.path.join(directory, name))
+            except OSError:
+                pass
 
 
 class ExperimentEngine:
@@ -185,6 +249,9 @@ class ExperimentEngine:
         keep_going: bool = False,
         backoff: Optional[float] = None,
         resume: Union[ResumeState, str, os.PathLike, None] = None,
+        serve: Union[int, str, None] = None,
+        heartbeat_cycles: Optional[int] = None,
+        stale_after: Optional[float] = None,
     ) -> None:
         self.workers = resolve_jobs(jobs)
         if isinstance(cache, ResultCache):
@@ -218,6 +285,71 @@ class ExperimentEngine:
         #: Report of the most recent :meth:`run` call.
         self.report = EngineReport()
         self._failures: List[JobFailure] = []
+        # --- live observability (all optional, all read-only) -------------
+        self.heartbeat_cycles = resolve_heartbeat_cycles(heartbeat_cycles)
+        self.stale_after = resolve_stale_after(stale_after)
+        self.server = None
+        self._hb_tmp: Optional[str] = None
+        self._monitor: Optional[HeartbeatMonitor] = None
+        serve_port = resolve_serve_port(serve)
+        if serve_port is not None:
+            self._start_server(serve_port)
+
+    def _heartbeat_directory(self) -> Optional[str]:
+        """Where workers beat, or ``None`` when heartbeats are off.
+
+        Heartbeats ride in the run's telemetry directory when one is
+        configured (so ``repro top DIR`` works with plain telemetry);
+        with ``--serve`` but no telemetry they fall back to a private
+        temp directory that only the exporter reads.
+        """
+        if self.heartbeat_cycles <= 0:
+            return None
+        if self.telemetry is not None:
+            return heartbeat_dir(self.telemetry.directory)
+        if self._hb_tmp is not None:
+            return heartbeat_dir(self._hb_tmp)
+        return None
+
+    def _start_server(self, port: int) -> None:
+        """Start the telemetry exporter; bind failure degrades, loudly.
+
+        The exporter is an observer — a port collision (or a sandbox
+        with no sockets) must never fail the science, so errors turn
+        into a warning on stderr and ``self.server = None``.
+        """
+        from repro.obs.server import TelemetryServer
+
+        if self.telemetry is None and self.heartbeat_cycles > 0:
+            # No run directory to piggyback on: heartbeats go to a
+            # private temp dir that only this exporter reads.
+            self._hb_tmp = tempfile.mkdtemp(prefix="repro-hb-")
+        server = TelemetryServer(
+            port=port,
+            engine=self,
+            telemetry_dir=self._hb_tmp,
+            stale_after=self.stale_after,
+        )
+        try:
+            server.start()
+        except OSError as exc:
+            print(f"repro: telemetry server disabled ({exc})",
+                  file=sys.stderr)
+            return
+        self.server = server
+        print(f"repro: telemetry server listening on {server.url}",
+              file=sys.stderr)
+
+    def close(self) -> None:
+        """Stop the telemetry server (if any) and drop temp state."""
+        if self.server is not None:
+            self.server.stop()
+            self.server = None
+        if self._hb_tmp is not None:
+            import shutil
+
+            shutil.rmtree(self._hb_tmp, ignore_errors=True)
+            self._hb_tmp = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -235,6 +367,12 @@ class ExperimentEngine:
         self._failures = []
         if self.telemetry is not None:
             self.telemetry.start_run(jobs)
+        self._monitor = None
+        hb_dir = self._heartbeat_directory()
+        if hb_dir is not None:
+            _clear_heartbeats(hb_dir)
+            self._monitor = HeartbeatMonitor(
+                hb_dir, stale_after=self.stale_after)
         started = time.perf_counter()
         results: List[Optional[SimResult]] = [None] * len(jobs)
         previous_handlers = self._install_signals()
@@ -278,6 +416,7 @@ class ExperimentEngine:
             self._restore_signals(previous_handlers)
             report.elapsed = time.perf_counter() - started
             if self.telemetry is not None:
+                report.telemetry_write_errors = self.telemetry.write_errors
                 try:
                     self.telemetry.finalize(
                         report, cache_stats=self.cache.stats, status=status,
@@ -285,6 +424,8 @@ class ExperimentEngine:
                 except Exception:
                     # Telemetry trouble must never mask the run outcome.
                     pass
+                # Pick up any errors finalize() itself just suffered.
+                report.telemetry_write_errors = self.telemetry.write_errors
         return results
 
     # ------------------------------------------------------------------
@@ -354,6 +495,8 @@ class ExperimentEngine:
             attempts = {index: 0 for index, _ in pending}
         if reasons is None:
             reasons = {}
+        hb_dir = (self._monitor.directory
+                  if self._monitor is not None else None)
         remaining = sorted(pending, key=lambda item: item[0])
         backoff_round = 0
         while remaining:
@@ -363,6 +506,9 @@ class ExperimentEngine:
                     result, elapsed = _run_job(
                         job, faults=self.faults, index=index,
                         attempt=attempts.get(index, 0),
+                        heartbeat_dir=hb_dir,
+                        heartbeat_cycles=self.heartbeat_cycles,
+                        profile=self.server is not None,
                     )
                 except InjectedFault as fault:
                     reasons[index] = str(fault)
@@ -393,12 +539,17 @@ class ExperimentEngine:
                 self._run_inline(remaining, results, report,
                                  attempts=attempts, reasons=reasons)
                 return
+            hb_dir = (self._monitor.directory
+                      if self._monitor is not None else None)
             try:
                 futures = {}
                 for index, job in remaining:
                     future = pool.submit(
                         _run_job, job, faults=self.faults, index=index,
                         attempt=attempts[index], origin_pid=os.getpid(),
+                        heartbeat_dir=hb_dir,
+                        heartbeat_cycles=self.heartbeat_cycles,
+                        profile=self.server is not None,
                     )
                     futures[future] = (index, job)
             except Exception:
@@ -416,7 +567,7 @@ class ExperimentEngine:
             clean = False
             try:
                 failed, displaced, broken = self._harvest(
-                    futures, results, report, reasons)
+                    futures, results, report, reasons, attempts)
                 clean = not (failed or displaced or broken)
             finally:
                 if clean:
@@ -431,7 +582,7 @@ class ExperimentEngine:
                 backoff_round += 1
                 self._backoff(backoff_round, report)
 
-    def _harvest(self, futures, results, report, reasons):
+    def _harvest(self, futures, results, report, reasons, attempts=None):
         """Collect one round of pool futures with real per-job deadlines.
 
         A job's clock starts when its future is first observed running
@@ -439,10 +590,14 @@ class ExperimentEngine:
         charged for their predecessors.  A round with no progress for a
         full timeout window is declared wedged even if nothing ever
         reached the running state (a broken pool that accepts work but
-        never schedules it).  Returns ``(failed, displaced, broken)``:
-        ``failed`` jobs burned an attempt, ``displaced`` jobs were
-        cancelled before starting and retry for free, ``broken`` means
-        the pool must be reaped.
+        never schedules it).  With heartbeats and ``stale_after``
+        active, workers whose heartbeat goes silent for longer than the
+        budget are expired early — the monitor feeds the same
+        cancel-and-reap path as a deadline, without waiting out the
+        (much longer) per-job timeout.  Returns ``(failed, displaced,
+        broken)``: ``failed`` jobs burned an attempt, ``displaced``
+        jobs were cancelled before starting and retry for free,
+        ``broken`` means the pool must be reaped.
         """
         failed: List[Tuple[int, SimJob]] = []
         displaced: List[Tuple[int, SimJob]] = []
@@ -450,6 +605,10 @@ class ExperimentEngine:
         not_done = set(futures)
         started: Dict[object, float] = {}
         last_progress = time.monotonic()
+        monitor = (self._monitor
+                   if self._monitor is not None
+                   and self._monitor.stale_after is not None else None)
+        last_stale_check = time.monotonic()
         while not_done:
             if self.timeout is not None:
                 now = time.monotonic()
@@ -457,8 +616,12 @@ class ExperimentEngine:
                     if future not in started and future.running():
                         started[future] = now
                         last_progress = now
-            wait_for = (min(_POLL_INTERVAL, self.timeout / 4)
-                        if self.timeout is not None else None)
+            if self.timeout is not None:
+                wait_for = min(_POLL_INTERVAL, self.timeout / 4)
+            elif monitor is not None:
+                wait_for = _POLL_INTERVAL
+            else:
+                wait_for = None
             done, not_done = concurrent.futures.wait(
                 not_done, timeout=wait_for,
                 return_when=concurrent.futures.FIRST_COMPLETED,
@@ -492,24 +655,48 @@ class ExperimentEngine:
                                    results, report, "pool")
             if done:
                 last_progress = time.monotonic()
-            if self.timeout is None or not not_done:
+            if not not_done:
                 continue
             now = time.monotonic()
-            expired = [future for future in not_done
-                       if future in started
-                       and now - started[future] >= self.timeout]
-            if not expired and now - last_progress >= self.timeout:
-                expired = list(not_done)  # pool wedged before starting any
+            # future -> (reason, elapsed-for-the-event)
+            expired: Dict[object, Tuple[str, float]] = {}
+            if self.timeout is not None:
+                timed_out = [future for future in not_done
+                             if future in started
+                             and now - started[future] >= self.timeout]
+                if not timed_out and now - last_progress >= self.timeout:
+                    timed_out = list(not_done)  # wedged before starting any
+                for future in timed_out:
+                    expired[future] = (
+                        f"timed out after {self.timeout:g}s", self.timeout)
+            if (monitor is not None and not expired
+                    and now - last_stale_check >= _STALE_CHECK_INTERVAL):
+                last_stale_check = now
+                live = {}
+                for future in not_done:
+                    index, _ = futures[future]
+                    live[index] = (attempts or {}).get(index, 0)
+                by_index = {futures[future][0]: future
+                            for future in not_done}
+                for record in monitor.stale(live):
+                    future = by_index.get(record.get("index"))
+                    if future is None or future in expired:
+                        continue
+                    age = record.get("age", 0.0)
+                    report.stale_workers += 1
+                    expired[future] = (
+                        f"worker heartbeat stale ({age:.1f}s silent, "
+                        f"budget {monitor.stale_after:g}s)", age)
             if expired:
                 broken = True
-                for future in expired:
+                for future, (reason, elapsed) in expired.items():
                     future.cancel()
                     index, job = futures[future]
-                    reasons[index] = f"timed out after {self.timeout:g}s"
+                    reasons[index] = reason
                     failed.append((index, job))
                     report.retried += 1
-                    self._emit(report, index, job, "retry", self.timeout,
-                               "pool", reason=reasons[index])
+                    self._emit(report, index, job, "retry", elapsed,
+                               "pool", reason=reason)
                 for future in not_done:
                     if future not in expired:
                         future.cancel()

@@ -85,8 +85,16 @@ class SimJob:
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
-    def run(self) -> SimResult:
-        """Execute the simulation described by this job."""
+    def run(self, progress_hook=None, progress_interval: int = 2_000,
+            profiler=None) -> SimResult:
+        """Execute the simulation described by this job.
+
+        ``progress_hook``/``progress_interval``/``profiler`` forward to
+        :func:`repro.core.simulator.simulate` — read-only in-run
+        observers (worker heartbeats, phase profiling) that cannot
+        affect the result, so they are deliberately *not* part of the
+        job's canonical form.
+        """
         return simulate(
             self.benchmark,
             self.spec,
@@ -94,4 +102,7 @@ class SimJob:
             instructions=self.instructions,
             warmup=self.warmup,
             seed=self.seed,
+            progress_hook=progress_hook,
+            progress_interval=progress_interval,
+            profiler=profiler,
         )

@@ -4,7 +4,10 @@ The engine emits one :class:`JobEvent` per completed cell (cache hit,
 pool/inline completion, or retry) to an optional progress callback, and
 accumulates an :class:`EngineReport` per :meth:`ExperimentEngine.run`
 call.  :func:`progress_printer` is the CLI's default callback: a live
-``[ 3/18] gzip × FDRT  done  1.4s`` line per event on stderr.
+``[ 3/18] gzip × FDRT  done  1.4s`` line per event on stderr, with
+status colouring on interactive terminals only — when the stream is
+not a TTY (CI logs, ``2> file`` redirects) every ANSI control sequence
+is dropped and the output is plain text.
 """
 
 from __future__ import annotations
@@ -63,6 +66,10 @@ class EngineReport:
     backoff_seconds: float = 0.0
     #: Wedged worker processes the watchdog had to terminate/kill.
     workers_reaped: int = 0
+    #: Workers flagged by heartbeat staleness (silent past the budget).
+    stale_workers: int = 0
+    #: Telemetry writes that failed (the run continued, degraded).
+    telemetry_write_errors: int = 0
     inline: bool = False
     workers: int = 1
     elapsed: float = 0.0
@@ -110,10 +117,29 @@ class EngineReport:
             summary += f", {self.failed} FAILED (quarantined)"
         lines = [summary]
         if self.job_seconds:
-            mean = sum(self.job_seconds) / len(self.job_seconds)
+            stats = self.job_seconds_summary()
             lines.append(
-                f"per-job time: mean {mean:.2f}s, "
+                f"per-job time: mean {stats['mean']:.2f}s, "
+                f"p50 {stats['p50']:.2f}s, p95 {stats['p95']:.2f}s, "
+                f"p99 {stats['p99']:.2f}s, "
                 f"max {max(self.job_seconds):.2f}s"
+            )
+        # Degradation the run survived must still be visible in the
+        # terminal summary, not only in the manifest.
+        if self.workers_reaped:
+            lines.append(
+                f"degraded: {self.workers_reaped} wedged worker(s) "
+                f"force-reaped by the watchdog"
+            )
+        if self.stale_workers:
+            lines.append(
+                f"degraded: {self.stale_workers} worker(s) flagged by "
+                f"stale heartbeats"
+            )
+        if self.telemetry_write_errors:
+            lines.append(
+                f"degraded: {self.telemetry_write_errors} telemetry "
+                f"write error(s); events.jsonl/manifest may be incomplete"
             )
         for failure in self.failures:
             lines.append(
@@ -122,10 +148,54 @@ class EngineReport:
             )
         return "\n".join(lines)
 
+    #: Bucket bounds (seconds) for the per-job wall-clock summary.
+    JOB_SECONDS_BUCKETS = (0.05, 0.1, 0.25, 0.5, 1, 2, 5, 10, 30,
+                           60, 120, 300, 600)
 
-def progress_printer(stream: Optional[TextIO] = None) -> ProgressCallback:
-    """Build a callback that prints one live progress line per event."""
+    def job_seconds_summary(self) -> dict:
+        """Count/sum/p50/p95/p99 of per-job wall-clock, via the shared
+        :meth:`repro.obs.metrics.Histogram.summary` helper."""
+        from repro.obs.metrics import Histogram
+
+        return Histogram.of(
+            self.job_seconds, buckets=self.JOB_SECONDS_BUCKETS,
+        ).summary()
+
+
+#: ANSI SGR codes per status, used only on interactive terminals.
+_ANSI_RESET = "\x1b[0m"
+_ANSI_STATUS = {
+    "done": "\x1b[32m",      # green
+    "hit": "\x1b[2m",        # dim
+    "resumed": "\x1b[2m",    # dim
+    "retry": "\x1b[33m",     # yellow
+    "failed": "\x1b[31m",    # red
+}
+
+
+def stream_is_tty(stream) -> bool:
+    """Whether ``stream`` is an interactive terminal (never raises)."""
+    isatty = getattr(stream, "isatty", None)
+    if isatty is None:
+        return False
+    try:
+        return bool(isatty())
+    except Exception:
+        return False
+
+
+def progress_printer(
+    stream: Optional[TextIO] = None,
+    ansi: Optional[bool] = None,
+) -> ProgressCallback:
+    """Build a callback that prints one live progress line per event.
+
+    ``ansi=None`` (the default) auto-detects: colour codes are emitted
+    only when the stream is a TTY, so CI logs and redirected output
+    stay free of raw escape sequences.
+    """
     out = stream if stream is not None else sys.stderr
+    use_ansi = stream_is_tty(out) if ansi is None else ansi
 
     def _print(event: JobEvent) -> None:
         width = len(str(event.total))
@@ -138,6 +208,10 @@ def progress_printer(stream: Optional[TextIO] = None) -> ProgressCallback:
             detail = f"  {event.reason}" if event.reason else ""
         else:
             detail = f"  {event.elapsed:.1f}s"
+        if use_ansi:
+            color = _ANSI_STATUS.get(event.status)
+            if color:
+                status = f"{color}{status}{_ANSI_RESET}"
         out.write(
             f"[{event.completed:>{width}}/{event.total}] "
             f"{event.job.label:<36} {status}{detail}\n"

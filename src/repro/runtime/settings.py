@@ -24,6 +24,17 @@ Environment variables:
 ``REPRO_TELEMETRY_DIR``
     Directory for run telemetry (``events.jsonl`` + ``manifest.json``,
     see ``docs/OBSERVABILITY.md``).  Default: telemetry disabled.
+``REPRO_SERVE_PORT``
+    Start the live telemetry HTTP exporter on this port for every
+    engine run (``0`` = an ephemeral OS-assigned port).  Default: no
+    server.
+``REPRO_HEARTBEAT_CYCLES``
+    Simulated cycles between worker heartbeat records.  Default
+    ``2000``; any value ``<= 0`` disables heartbeats.
+``REPRO_STALE_AFTER``
+    Seconds of heartbeat silence before a worker is flagged stale and
+    handed to the reaping watchdog (float).  Default: staleness
+    detection off.
 """
 
 from __future__ import annotations
@@ -34,16 +45,19 @@ from typing import Optional, Union
 _UNSET = object()
 
 #: :func:`configure` overrides; ``None`` means "not configured".
-_configured = {"jobs": None, "cache": None, "telemetry_dir": None}
+_configured = {"jobs": None, "cache": None, "telemetry_dir": None,
+               "serve": None}
 
 
-def configure(jobs=_UNSET, cache=_UNSET, telemetry_dir=_UNSET) -> None:
+def configure(jobs=_UNSET, cache=_UNSET, telemetry_dir=_UNSET,
+              serve=_UNSET) -> None:
     """Set process-wide runtime defaults.
 
     ``jobs`` is a worker count (int, or ``'auto'`` for one per CPU);
     ``cache`` is a bool enabling/disabling the result cache;
-    ``telemetry_dir`` is a directory for engine run telemetry.  Pass
-    ``None`` to clear an override back to environment resolution.
+    ``telemetry_dir`` is a directory for engine run telemetry; ``serve``
+    is a port for the live telemetry HTTP exporter (``0`` = ephemeral).
+    Pass ``None`` to clear an override back to environment resolution.
     """
     if jobs is not _UNSET:
         _configured["jobs"] = jobs
@@ -51,6 +65,8 @@ def configure(jobs=_UNSET, cache=_UNSET, telemetry_dir=_UNSET) -> None:
         _configured["cache"] = cache
     if telemetry_dir is not _UNSET:
         _configured["telemetry_dir"] = telemetry_dir
+    if serve is not _UNSET:
+        _configured["serve"] = serve
 
 
 def configured_jobs():
@@ -114,6 +130,59 @@ def resolve_timeout(explicit: Optional[float] = None) -> Optional[float]:
         return explicit
     env = os.environ.get("REPRO_JOB_TIMEOUT")
     return float(env) if env else None
+
+
+def resolve_serve_port(
+    explicit: Union[int, str, None] = None,
+) -> Optional[int]:
+    """Resolve the telemetry-server port (``None`` = no server).
+
+    ``0`` is a valid port: the OS assigns an ephemeral one (the server
+    reports what it actually bound).
+    """
+    value = explicit
+    if value is None:
+        value = _configured["serve"]
+    if value is None:
+        value = os.environ.get("REPRO_SERVE_PORT")
+    if value is None or value == "":
+        return None
+    try:
+        port = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid serve port {value!r}: expected an integer"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"serve port out of range: {port}")
+    return port
+
+
+def resolve_heartbeat_cycles(explicit: Optional[int] = None) -> int:
+    """Resolve cycles between heartbeats (``0`` = heartbeats off)."""
+    value = explicit
+    if value is None:
+        env = os.environ.get("REPRO_HEARTBEAT_CYCLES")
+        if env:
+            value = env
+    if value is None:
+        from repro.obs.heartbeat import DEFAULT_BEAT_CYCLES
+
+        return DEFAULT_BEAT_CYCLES
+    try:
+        return max(0, int(value))
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid heartbeat interval {value!r}: expected an integer"
+        ) from None
+
+
+def resolve_stale_after(explicit: Optional[float] = None) -> Optional[float]:
+    """Resolve the heartbeat staleness budget (``None`` = detection off)."""
+    if explicit is not None:
+        return max(0.0, float(explicit))
+    env = os.environ.get("REPRO_STALE_AFTER")
+    return max(0.0, float(env)) if env else None
 
 
 def resolve_backoff(explicit: Optional[float] = None) -> float:

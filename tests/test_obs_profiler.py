@@ -1,0 +1,134 @@
+"""Tests for the per-phase wall-clock profiler (and its invariants)."""
+
+import json
+
+import pytest
+
+from repro.assign.base import StrategySpec
+from repro.cluster.config import MachineConfig
+from repro.core.simulator import Simulator, simulate
+from repro.obs import MetricsRegistry
+from repro.obs.profiler import PHASES, PhaseProfiler
+
+TINY = dict(instructions=600, warmup=200)
+
+
+def profiled_run(sample_cycles=0, instructions=1_000):
+    simulator = Simulator("gzip", StrategySpec(kind="fdrt"),
+                          config=MachineConfig())
+    profiler = PhaseProfiler(sample_cycles=sample_cycles)
+    with profiler.attach(simulator.pipeline):
+        result = simulator.run(instructions)
+    return profiler, result
+
+
+class TestPhaseProfiler:
+    def test_accumulates_all_phases(self):
+        profiler, result = profiled_run()
+        assert set(profiler.seconds) == set(PHASES)
+        assert all(profiler.seconds[phase] >= 0 for phase in PHASES)
+        assert profiler.total_seconds > 0
+        assert profiler.steps == result.cycles
+        shares = profiler.shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_detach_restores_fast_path(self):
+        simulator = Simulator("gzip", StrategySpec(kind="base"),
+                              config=MachineConfig())
+        profiler = PhaseProfiler()
+        profiler.attach(simulator.pipeline)
+        assert simulator.pipeline.profiler is profiler
+        profiler.detach()
+        assert simulator.pipeline.profiler is None
+
+    def test_double_attach_rejected(self):
+        simulator = Simulator("gzip", StrategySpec(kind="base"),
+                              config=MachineConfig())
+        with PhaseProfiler().attach(simulator.pipeline):
+            with pytest.raises(RuntimeError):
+                PhaseProfiler().attach(simulator.pipeline)
+
+    def test_negative_sample_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseProfiler(sample_cycles=-1)
+
+    def test_sampling_windows_cover_totals(self):
+        profiler, _ = profiled_run(sample_cycles=200)
+        assert len(profiler.samples) >= 2
+        for phase in PHASES:
+            sampled = sum(window[phase]
+                          for _, window in profiler.samples)
+            assert sampled == pytest.approx(profiler.seconds[phase])
+
+    def test_publish_metrics(self):
+        profiler, _ = profiled_run()
+        registry = MetricsRegistry()
+        profiler.publish(registry)
+        data = registry.to_dict()
+        gauges = data["gauges"]
+        for phase in PHASES:
+            assert gauges[f"profile.seconds{{phase={phase}}}"] >= 0
+            assert 0 <= gauges[f"profile.share{{phase={phase}}}"] <= 1
+        assert gauges["profile.total_seconds"] > 0
+        assert gauges["profile.cycles_per_second"] > 0
+        assert data["counters"]["profile.steps"] == profiler.steps
+
+    def test_render_lists_phases(self):
+        profiler, _ = profiled_run()
+        rendered = profiler.render()
+        for phase in PHASES:
+            assert phase in rendered
+        assert "cycles/s" in rendered
+
+
+class TestSpeedscopeExport:
+    def test_document_shape(self, tmp_path):
+        profiler, _ = profiled_run(sample_cycles=300)
+        doc = profiler.to_speedscope("unit test")
+        assert doc["name"] == "unit test"
+        assert [f["name"] for f in doc["shared"]["frames"]] == list(PHASES)
+        (profile,) = doc["profiles"]
+        assert profile["type"] == "evented"
+        events = profile["events"]
+        assert events, "expected open/close spans"
+        # Events are strictly ordered, opens and closes balanced.
+        opens = [e for e in events if e["type"] == "O"]
+        closes = [e for e in events if e["type"] == "C"]
+        assert len(opens) == len(closes)
+        ats = [e["at"] for e in events]
+        assert ats == sorted(ats)
+        assert profile["endValue"] == pytest.approx(ats[-1])
+
+    def test_write_round_trips_json(self, tmp_path):
+        profiler, _ = profiled_run()
+        path = tmp_path / "profile.json"
+        profiler.write(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["$schema"].startswith("https://www.speedscope.app")
+
+
+class TestByteIdentity:
+    """The load-bearing invariant: observers never change results."""
+
+    def test_profiled_result_identical(self):
+        plain = simulate("gzip", StrategySpec(kind="fdrt"), **TINY)
+        profiled = simulate("gzip", StrategySpec(kind="fdrt"), **TINY,
+                            profiler=PhaseProfiler(sample_cycles=100))
+        assert profiled.to_dict() == plain.to_dict()
+
+    def test_progress_hook_result_identical(self):
+        beats = []
+        plain = simulate("bzip2", StrategySpec(kind="base"), **TINY)
+        hooked = simulate("bzip2", StrategySpec(kind="base"), **TINY,
+                          progress_hook=lambda p: beats.append(p.now),
+                          progress_interval=50)
+        assert hooked.to_dict() == plain.to_dict()
+        assert beats, "hook should have fired"
+
+    def test_hook_and_profiler_together_identical(self):
+        plain = simulate("gcc", StrategySpec(kind="fdrt"), **TINY)
+        both = simulate("gcc", StrategySpec(kind="fdrt"), **TINY,
+                        progress_hook=lambda p: None,
+                        progress_interval=100,
+                        profiler=PhaseProfiler(sample_cycles=0))
+        assert both.to_dict() == plain.to_dict()
