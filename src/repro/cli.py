@@ -45,6 +45,15 @@ aborting (exit 3 flags the partial result), and ``sweep --fault-plan
 PATH`` injects a deterministic chaos plan for testing the engine's
 degradation paths.
 
+Simulation as a service (see ``docs/SERVICE.md``): ``repro service
+DATA-DIR`` runs the HTTP job API + shared sharded result cache,
+``repro worker URL`` runs a pull-based execution agent against it,
+``repro submit`` / ``repro fetch`` route a benchmark × strategy matrix
+through the service (``$REPRO_SERVICE_URL`` supplies the default URL),
+and ``repro cache stats`` / ``repro cache gc`` inspect and maintain the
+sharded on-disk result cache (entry counts, per-shard distribution,
+hit rate since last reset; TTL/LRU eviction).
+
 Regression tracking (see ``docs/OBSERVABILITY.md``): ``repro analyze
 DIR`` renders top-down IPC-loss attribution and assignment-quality
 reports from a telemetry directory, ``repro baseline capture`` snapshots
@@ -239,6 +248,115 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="plain output even on a TTY")
     top.add_argument("--stale-after", type=float, default=None, metavar="S",
                      help="flag workers silent for S seconds as stale")
+
+    service = sub.add_parser(
+        "service",
+        help="run the simulation service: HTTP job API + shared "
+             "sharded result cache (see docs/SERVICE.md)")
+    service.add_argument("data_dir", metavar="DATA-DIR",
+                         help="durable service state: queue journal + "
+                              "worker heartbeats")
+    service.add_argument("--port", type=int, default=0, metavar="PORT",
+                         help="listen port (default 0 = ephemeral)")
+    service.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default loopback; the API "
+                              "is unauthenticated)")
+    service.add_argument("--lease", type=float, default=None, metavar="S",
+                         help="seconds a claimed job may go without a "
+                              "heartbeat before it is re-queued "
+                              "(default 60)")
+    service.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="result-cache root served to clients "
+                              "(default $REPRO_CACHE_DIR)")
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a pull-based worker against a repro service URL")
+    worker.add_argument("url", nargs="?", default=None,
+                        help="service base URL "
+                             "(default $REPRO_SERVICE_URL)")
+    worker.add_argument("--name", default=None,
+                        help="worker name reported to the service "
+                             "(default host-pid)")
+    worker.add_argument("--poll", type=float, default=1.0, metavar="S",
+                        help="seconds between claim polls when idle "
+                             "(default 1)")
+    worker.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                        help="exit after executing N jobs")
+    worker.add_argument("--max-idle", type=float, default=None, metavar="S",
+                        help="exit after S seconds with an empty queue")
+    worker.add_argument("--heartbeat-cycles", type=int, default=2_000,
+                        metavar="N",
+                        help="simulated cycles between HTTP heartbeats "
+                             "(default 2000; 0 = no heartbeats)")
+    worker.add_argument("--fault-plan", default=None, metavar="PATH",
+                        help="inject a deterministic FaultPlan "
+                             "(worker.lease_expire chaos testing)")
+
+    def add_matrix(p):
+        p.add_argument("url", nargs="?", default=None,
+                       help="service base URL "
+                            "(default $REPRO_SERVICE_URL)")
+        p.add_argument("--benchmarks", default=None, metavar="A,B,...",
+                       help="comma-separated benchmarks "
+                            "(default: the paper's six)")
+        p.add_argument("--strategies", default=None, metavar="A,B,...",
+                       help="comma-separated strategies "
+                            "(default: Figure 6's five)")
+        p.add_argument("--machine", choices=sorted(_MACHINES),
+                       default="base", help="machine variant")
+        p.add_argument("--instructions", type=int, default=8_000)
+        p.add_argument("--warmup", type=int, default=15_000)
+        p.add_argument("--seed", type=int, default=None,
+                       help="workload replicate seed")
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a benchmark x strategy matrix to a repro service")
+    add_matrix(submit)
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until every cell completes and print "
+                             "the IPC table")
+    submit.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="give up waiting after S seconds (--wait)")
+
+    fetch = sub.add_parser(
+        "fetch",
+        help="poll a repro service for a submitted matrix's results")
+    add_matrix(fetch)
+    fetch.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="give up after S seconds of polling")
+
+    cache = sub.add_parser(
+        "cache", help="inspect and maintain the on-disk result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats",
+        help="entry count, bytes, per-shard distribution, hit rate "
+             "since last reset")
+    cache_stats.add_argument("--cache-dir", default=None, metavar="DIR",
+                             help="cache root (default $REPRO_CACHE_DIR)")
+    cache_stats.add_argument("--json", action="store_true",
+                             help="emit the report as JSON")
+    cache_stats.add_argument("--reset", action="store_true",
+                             help="zero the persistent counters after "
+                                  "reporting")
+    cache_gc = cache_sub.add_parser(
+        "gc",
+        help="migrate legacy entries and apply TTL/LRU eviction")
+    cache_gc.add_argument("--cache-dir", default=None, metavar="DIR",
+                          help="cache root (default $REPRO_CACHE_DIR)")
+    cache_gc.add_argument("--ttl", type=float, default=None, metavar="S",
+                          help="evict entries unused for more than S "
+                               "seconds")
+    cache_gc.add_argument("--max-entries", type=int, default=None,
+                          metavar="N",
+                          help="evict least-recently-used entries down "
+                               "to N")
+    cache_gc.add_argument("--max-bytes", type=int, default=None,
+                          metavar="B",
+                          help="evict least-recently-used entries down "
+                               "to B bytes")
 
     profile = sub.add_parser(
         "profile",
@@ -599,6 +717,246 @@ def _cmd_top(args) -> int:
     )
 
 
+def _resolve_url(args) -> Optional[str]:
+    from repro.runtime.settings import resolve_service_url
+
+    url = resolve_service_url(args.url)
+    if url is None:
+        print("error: no service URL (give one, or set "
+              "$REPRO_SERVICE_URL)", file=sys.stderr)
+    return url
+
+
+def _matrix_cells(args):
+    """The (benchmarks, specs, jobs) triple submit/fetch operate on."""
+    from repro.runtime import matrix_jobs
+    from repro.workloads.suites import SPECINT2000_SELECTED
+
+    benchmarks = (_split_tokens(args.benchmarks) if args.benchmarks
+                  else list(SPECINT2000_SELECTED))
+    names = (_split_tokens(args.strategies) if args.strategies
+             else list(_COMPARE_ORDER))
+    if not benchmarks or not names:
+        raise ValueError("empty benchmark/strategy selection")
+    try:
+        specs = [_STRATEGIES[name] for name in names]
+    except KeyError as error:
+        raise ValueError(
+            f"unknown strategy {error} "
+            f"(choices: {', '.join(sorted(_STRATEGIES))})") from None
+    grid = matrix_jobs(
+        benchmarks, specs, config=_MACHINES[args.machine](),
+        instructions=args.instructions, warmup=args.warmup,
+        seed=args.seed,
+    )
+    jobs = [grid[(benchmark, spec.label)]
+            for benchmark in benchmarks for spec in specs]
+    return benchmarks, specs, jobs
+
+
+def _render_remote_table(benchmarks, specs, jobs, results) -> str:
+    from repro.experiments import ExperimentTable
+
+    by_key = {job.key: result for job, result in zip(jobs, results)}
+    table = ExperimentTable(
+        f"IPC — {len(benchmarks)}x{len(specs)} matrix (via service)",
+        ["benchmark"] + [spec.label for spec in specs],
+    )
+    cells = iter(jobs)
+    for benchmark in benchmarks:
+        row = []
+        for _spec in specs:
+            result = by_key[next(cells).key]
+            row.append(f"{result.ipc:.3f}")
+        table.add_row(benchmark, *row)
+    return table.render()
+
+
+def _cmd_service(args) -> int:
+    import signal
+    import time as _time
+
+    from repro.runtime import ResultCache
+    from repro.service import DEFAULT_LEASE_SECONDS, ServiceServer
+
+    cache = ResultCache(root=args.cache_dir, remote=False)
+    server = ServiceServer(
+        args.data_dir, port=args.port, host=args.host, cache=cache,
+        lease_seconds=(args.lease if args.lease is not None
+                       else DEFAULT_LEASE_SECONDS),
+    )
+    signal.signal(signal.SIGTERM,
+                  lambda *_: (_ for _ in ()).throw(KeyboardInterrupt()))
+    url = server.start()
+    counts = server.queue.counts()
+    resumed = counts["pending"] + counts["running"]
+    print(f"service: {url} (data: {server.data_dir}, "
+          f"cache: {server.cache.root}, "
+          f"{server.cache.shards} shards, "
+          f"lease {server.queue.lease_seconds:.0f}s)")
+    if resumed:
+        print(f"resumed {resumed} unfinished job(s) from the queue "
+              f"journal")
+    print("endpoints: POST /jobs, GET /jobs/<key>, GET /queue, "
+          "GET /cache/<key>, GET /metrics  (ctrl-c to stop)")
+    try:
+        while True:
+            _time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        print("service stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.service import WorkerAgent
+
+    url = _resolve_url(args)
+    if url is None:
+        return 2
+    faults = None
+    if args.fault_plan:
+        from repro.resilience import FaultPlan
+
+        try:
+            faults = FaultPlan.from_file(args.fault_plan)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot load --fault-plan {args.fault_plan}: "
+                  f"{error}", file=sys.stderr)
+            return 2
+    agent = WorkerAgent(
+        url, name=args.name, poll_interval=args.poll,
+        max_jobs=args.max_jobs, max_idle=args.max_idle,
+        heartbeat_cycles=args.heartbeat_cycles, faults=faults,
+    )
+    return agent.run()
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import (
+        JobRejected,
+        RemoteJobFailed,
+        ServiceUnavailable,
+        fetch_results,
+        submit_jobs,
+    )
+
+    url = _resolve_url(args)
+    if url is None:
+        return 2
+    try:
+        benchmarks, specs, jobs = _matrix_cells(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        states = submit_jobs(url, jobs, stream=sys.stderr)
+    except JobRejected as error:
+        print(f"error: submission rejected: {error}", file=sys.stderr)
+        return 2
+    except ServiceUnavailable as error:
+        print(f"error: cannot reach service at {url} ({error})",
+              file=sys.stderr)
+        return 1
+    queued = sum(1 for state in states.values() if state != "done")
+    print(f"submitted {len(jobs)} cell(s): {len(jobs) - queued} already "
+          f"done, {queued} queued")
+    if not args.wait:
+        if queued:
+            print(f"fetch results with: repro fetch {url} [...]")
+        return 0
+    try:
+        results = fetch_results(url, jobs, timeout=args.timeout,
+                                stream=sys.stderr)
+    except RemoteJobFailed as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except (ServiceUnavailable, TimeoutError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(_render_remote_table(benchmarks, specs, jobs, results))
+    return 0
+
+
+def _cmd_fetch(args) -> int:
+    from repro.service import (
+        RemoteJobFailed,
+        ServiceUnavailable,
+        fetch_results,
+    )
+
+    url = _resolve_url(args)
+    if url is None:
+        return 2
+    try:
+        benchmarks, specs, jobs = _matrix_cells(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        results = fetch_results(url, jobs, timeout=args.timeout,
+                                stream=sys.stderr)
+    except RemoteJobFailed as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except (ServiceUnavailable, TimeoutError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(_render_remote_table(benchmarks, specs, jobs, results))
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    import json
+
+    from repro.runtime import ResultCache
+
+    cache = ResultCache(root=args.cache_dir, remote=False)
+    if args.cache_command == "gc":
+        report = cache.gc(ttl=args.ttl, max_entries=args.max_entries,
+                          max_bytes=args.max_bytes)
+        print(f"cache gc: {report['migrated']} migrated, "
+              f"{report['evicted_ttl']} evicted by TTL, "
+              f"{report['evicted_lru']} evicted by LRU; "
+              f"{report['entries']} entries "
+              f"({report['bytes']} bytes) remain")
+        return 0
+    scan = cache.scan()
+    persistent = cache.persistent_stats()
+    if args.json:
+        print(json.dumps({"scan": scan, "since_reset": persistent},
+                         indent=2, sort_keys=True))
+    else:
+        print(f"cache root : {scan['root']}")
+        print(f"layout     : {scan['shards']} shards"
+              + (f" ({scan['legacy_entries']} legacy entries pending "
+                 f"migration)" if scan['legacy_entries'] else ""))
+        print(f"entries    : {scan['entries']} ({scan['bytes']} bytes)")
+        if scan["per_shard"]:
+            largest = sorted(
+                scan["per_shard"].items(),
+                key=lambda item: -item[1]["entries"])[:8]
+            spread = ", ".join(
+                f"shard-{index:03d}: {record['entries']}"
+                for index, record in largest)
+            print(f"per shard  : {spread}")
+        looked = (persistent["hits"] + persistent["remote_hits"]
+                  + persistent["misses"])
+        print(f"since reset: {persistent['hits']} hits, "
+              f"{persistent['remote_hits']} remote hits, "
+              f"{persistent['misses']} misses "
+              f"({persistent['hit_rate']:.0%} of {looked} lookups), "
+              f"{persistent['stores']} stores, "
+              f"{persistent['evicted']} evicted, "
+              f"{persistent['processes']} process(es)")
+    if args.reset:
+        removed = cache.reset_persistent_stats()
+        print(f"reset: cleared {removed} counter file(s)")
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from repro.core.simulator import simulate
     from repro.obs.profiler import PhaseProfiler
@@ -751,6 +1109,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "energy": _cmd_energy,
         "sweep": _cmd_sweep,
         "top": _cmd_top,
+        "service": _cmd_service,
+        "worker": _cmd_worker,
+        "submit": _cmd_submit,
+        "fetch": _cmd_fetch,
+        "cache": _cmd_cache,
         "profile": _cmd_profile,
         "analyze": _cmd_analyze,
         "baseline": _cmd_baseline,

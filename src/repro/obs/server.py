@@ -193,6 +193,9 @@ class TelemetryServer:
             def do_GET(self):
                 server.handle(self)
 
+            def do_POST(self):
+                server.handle_post(self)
+
         self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
         self._httpd.daemon_threads = True
         self.port = self._httpd.server_address[1]
@@ -462,6 +465,36 @@ class TelemetryServer:
                 )
             except Exception:
                 pass
+
+    def handle_post(self, request: BaseHTTPRequestHandler) -> None:
+        """Route one POST.  The telemetry exporter is strictly
+        read-only, so the base server rejects every write; the
+        simulation service (:class:`repro.service.ServiceServer`)
+        overrides this with the job-submission endpoints.
+        """
+        try:
+            self._respond(
+                request, 405,
+                _json_bytes({"error": "this server is read-only"}),
+                "application/json",
+            )
+        except Exception:
+            pass
+
+    @staticmethod
+    def _read_json_body(request: BaseHTTPRequestHandler) -> dict:
+        """Parse a request's JSON body; raises ``ValueError`` on junk."""
+        try:
+            length = int(request.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            length = 0
+        raw = request.rfile.read(length) if length > 0 else b""
+        if not raw:
+            raise ValueError("empty request body")
+        document = json.loads(raw.decode("utf-8"))
+        if not isinstance(document, dict):
+            raise ValueError("request body must be a JSON object")
+        return document
 
     @staticmethod
     def _respond(request, status: int, body: bytes,

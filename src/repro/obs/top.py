@@ -30,6 +30,12 @@ from repro.obs.heartbeat import HeartbeatMonitor, heartbeat_dir
 #: Seconds between repaints unless overridden.
 DEFAULT_INTERVAL = 1.0
 
+#: Connection-retry schedule for URL sources: a refused or dropped
+#: connection is retried this many times with exponential backoff
+#: before `top` concludes the server is really gone.
+URL_RETRIES = 4
+URL_BACKOFF = 0.25
+
 _ANSI_RESET = "\x1b[0m"
 _ANSI_HOME_CLEAR = "\x1b[H\x1b[2J"
 _ANSI_STATUS = {
@@ -334,19 +340,53 @@ def run_top(
     colors only when ``stream`` is a TTY.  ``max_refreshes`` bounds the
     loop for tests.
     """
+    import http.client
     import sys
 
     stream = stream if stream is not None else sys.stdout
     if ansi is None:
         ansi = _is_tty(stream)
     refreshes = 0
+    #: Errors a flaky or shut-down server surfaces mid-scrape: refused
+    #: or reset connections (OSError covers urllib's URLError), a
+    #: half-closed socket mid-response (BadStatusLine & friends), or a
+    #: torn JSON body from a server killed mid-write.
+    url_errors = (OSError, ValueError, http.client.HTTPException)
     while True:
         try:
             document = load_state(source, stale_after=stale_after)
-        except OSError as error:
-            print(f"repro top: cannot read {source}: {error}",
-                  file=sys.stderr)
-            return 1
+        except url_errors as error:
+            if not is_url(source):
+                # Directory sources never get here in practice — the
+                # reader tolerates missing/torn files — so a raising
+                # directory is a real usage error.
+                print(f"repro top: cannot read {source}: {error}",
+                      file=sys.stderr)
+                return 1
+            # A server mid-restart (or a network blip) deserves a few
+            # retries before we conclude anything.
+            document = None
+            delay = URL_BACKOFF
+            for _ in range(URL_RETRIES):
+                _sleep(delay)
+                delay *= 2
+                try:
+                    document = load_state(source, stale_after=stale_after)
+                    break
+                except url_errors as retry_error:
+                    error = retry_error
+            if document is None:
+                if refreshes:
+                    # We were watching a live run and the server went
+                    # away — the usual end of a `--serve` sweep, whose
+                    # server dies with the run.  That is a clean finish.
+                    print(f"repro top: lost contact with {source} "
+                          f"({error}); assuming the run ended",
+                          file=sys.stderr)
+                    return 0
+                print(f"repro top: cannot connect to {source} ({error})",
+                      file=sys.stderr)
+                return 1
         rendered = render_state(document, ansi=ansi)
         if ansi:
             stream.write(_ANSI_HOME_CLEAR)

@@ -30,6 +30,14 @@ Fault sites (:data:`FAULT_SITES`):
     must still complete).
 ``pool.create``
     Pool creation fails, exercising the inline-degradation path.
+``worker.lease_expire``
+    A service :class:`~repro.service.WorkerAgent` silently abandons a
+    job it just claimed — no execution, no heartbeat, no completion —
+    exactly what a worker killed right after claiming looks like to the
+    server.  Exercises the queue's lease-expiry re-queue path: the job
+    must be re-queued exactly once and the final result unchanged.
+    Matched on ``(index, attempt)`` where ``index`` is the job's queue
+    position and ``attempt`` is how many claims preceded this one.
 
 Worker sites match deterministically on ``(index, attempt)`` — the
 engine threads both into the worker — so the same plan always faults
@@ -58,6 +66,7 @@ FAULT_SITES = (
     "cache.corrupt",    # ResultCache.store (parent)
     "telemetry.write",  # TelemetryWriter appends + manifest (parent)
     "pool.create",      # ExperimentEngine._make_pool (parent)
+    "worker.lease_expire",  # service WorkerAgent abandons a claimed job
 )
 
 #: Exit status of a worker killed by an injected crash (picked outside

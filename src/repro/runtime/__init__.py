@@ -47,7 +47,12 @@ Quickstart::
     print(fdrt.speedup_over(base), engine.report.render())
 """
 
-from repro.runtime.cache import CacheStats, ResultCache, global_cache_stats
+from repro.runtime.cache import (
+    CacheStats,
+    ResultCache,
+    fetch_remote_entry,
+    global_cache_stats,
+)
 from repro.runtime.executor import (
     ExperimentEngine,
     JobFailedError,
@@ -77,6 +82,7 @@ __all__ = [
     "RunInterrupted",
     "SimJob",
     "configure",
+    "fetch_remote_entry",
     "global_cache_stats",
     "matrix_jobs",
     "progress_printer",

@@ -77,6 +77,58 @@ class SimJob:
             "seed": self.seed,
         }
 
+    @classmethod
+    def from_canonical(cls, payload: dict) -> "SimJob":
+        """Rebuild a job from its :meth:`canonical` form.
+
+        This is the wire format of the simulation service's ``POST
+        /jobs`` endpoint, so it validates strictly: the schema version
+        must match this process's ``JOB_SCHEMA_VERSION`` (a mismatched
+        client would compute a different key for the same cell), and
+        spec/config payloads go through their dataclasses' own
+        validation.  Round-trip invariant: ``SimJob.from_canonical(
+        job.canonical()).key == job.key``.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("job payload must be a JSON object")
+        schema = payload.get("schema")
+        if schema != JOB_SCHEMA_VERSION:
+            raise ValueError(
+                f"job schema {schema!r} does not match this service's "
+                f"schema {JOB_SCHEMA_VERSION}"
+            )
+        benchmark = payload.get("benchmark")
+        if not isinstance(benchmark, str) or not benchmark:
+            raise ValueError("job benchmark must be a catalog name")
+        spec_data = dict(payload.get("spec") or {})
+        mapping = spec_data.get("static_mapping")
+        if mapping is not None:
+            # JSON object keys are strings; the spec wants int -> int.
+            spec_data["static_mapping"] = {
+                int(block): int(cluster) for block, cluster in mapping.items()
+            }
+        try:
+            spec = StrategySpec(**spec_data)
+        except TypeError as exc:
+            raise ValueError(f"invalid strategy spec: {exc}") from None
+        config = MachineConfig.from_dict(dict(payload.get("config") or {}))
+        seed = payload.get("seed")
+        if seed is not None:
+            seed = int(seed)
+        job = cls(
+            benchmark=benchmark,
+            spec=spec,
+            config=config,
+            instructions=int(payload["instructions"]),
+            warmup=int(payload["warmup"]),
+            seed=seed,
+        )
+        if job.instructions <= 0:
+            raise ValueError("job instructions must be positive")
+        if job.warmup < 0:
+            raise ValueError("job warmup must be non-negative")
+        return job
+
     @property
     def key(self) -> str:
         """Content hash of :meth:`canonical` (hex SHA-256)."""

@@ -35,6 +35,18 @@ Environment variables:
     Seconds of heartbeat silence before a worker is flagged stale and
     handed to the reaping watchdog (float).  Default: staleness
     detection off.
+``REPRO_CACHE_SHARDS``
+    Shard-directory fan-out for *new* result-cache roots (see
+    ``docs/SERVICE.md``).  An existing root keeps the shard count
+    recorded in its ``layout.json`` regardless of this setting, so
+    every process addressing the root agrees on the layout.  Default
+    ``16``.
+``REPRO_SERVICE_URL``
+    Base URL of a ``repro service`` instance.  When set, the result
+    cache consults ``GET <url>/cache/<key>`` on local misses before
+    simulating (the shared global memoization tier), and the
+    ``submit`` / ``fetch`` / ``worker`` commands use it as their
+    default endpoint.  Default: no remote cache.
 """
 
 from __future__ import annotations
@@ -46,18 +58,20 @@ _UNSET = object()
 
 #: :func:`configure` overrides; ``None`` means "not configured".
 _configured = {"jobs": None, "cache": None, "telemetry_dir": None,
-               "serve": None}
+               "serve": None, "service_url": None}
 
 
 def configure(jobs=_UNSET, cache=_UNSET, telemetry_dir=_UNSET,
-              serve=_UNSET) -> None:
+              serve=_UNSET, service_url=_UNSET) -> None:
     """Set process-wide runtime defaults.
 
     ``jobs`` is a worker count (int, or ``'auto'`` for one per CPU);
     ``cache`` is a bool enabling/disabling the result cache;
     ``telemetry_dir`` is a directory for engine run telemetry; ``serve``
-    is a port for the live telemetry HTTP exporter (``0`` = ephemeral).
-    Pass ``None`` to clear an override back to environment resolution.
+    is a port for the live telemetry HTTP exporter (``0`` = ephemeral);
+    ``service_url`` is the base URL of a ``repro service`` instance the
+    result cache consults on local misses.  Pass ``None`` to clear an
+    override back to environment resolution.
     """
     if jobs is not _UNSET:
         _configured["jobs"] = jobs
@@ -67,6 +81,8 @@ def configure(jobs=_UNSET, cache=_UNSET, telemetry_dir=_UNSET,
         _configured["telemetry_dir"] = telemetry_dir
     if serve is not _UNSET:
         _configured["serve"] = serve
+    if service_url is not _UNSET:
+        _configured["service_url"] = service_url
 
 
 def configured_jobs():
@@ -183,6 +199,50 @@ def resolve_stale_after(explicit: Optional[float] = None) -> Optional[float]:
         return max(0.0, float(explicit))
     env = os.environ.get("REPRO_STALE_AFTER")
     return max(0.0, float(env)) if env else None
+
+
+#: Default shard-directory fan-out for new cache roots.
+DEFAULT_CACHE_SHARDS = 16
+
+
+def resolve_cache_shards(explicit: Optional[int] = None) -> int:
+    """Resolve the shard fan-out for a *new* cache root.
+
+    Existing roots pin their layout in ``layout.json`` — this setting
+    only applies when a root is first created (see
+    :class:`repro.runtime.cache.ResultCache`).
+    """
+    value = explicit
+    if value is None:
+        value = os.environ.get("REPRO_CACHE_SHARDS")
+    if value is None or value == "":
+        return DEFAULT_CACHE_SHARDS
+    try:
+        shards = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid cache shard count {value!r}: expected an integer"
+        ) from None
+    if not 1 <= shards <= 4096:
+        raise ValueError(f"cache shard count out of range: {shards}")
+    return shards
+
+
+def resolve_service_url(explicit: Optional[str] = None) -> Optional[str]:
+    """Resolve the simulation-service base URL (``None`` = no service)."""
+    value = explicit
+    if value is None:
+        value = _configured["service_url"]
+    if value is None:
+        value = os.environ.get("REPRO_SERVICE_URL")
+    if not value:
+        return None
+    value = str(value).rstrip("/")
+    if not value.startswith(("http://", "https://")):
+        raise ValueError(
+            f"invalid service URL {value!r}: expected http(s)://host:port"
+        )
+    return value
 
 
 def resolve_backoff(explicit: Optional[float] = None) -> float:

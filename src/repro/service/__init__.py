@@ -1,0 +1,59 @@
+"""repro.service — simulation-as-a-service over the runtime layer.
+
+The service turns the single-host runtime (``repro.runtime``) into a
+shared compute/memoization tier: identical content-addressed cells are
+computed once globally and served from the sharded result cache at wire
+speed afterwards.
+
+* :class:`ServiceServer` — stdlib HTTP job API grown from the
+  read-only :class:`~repro.obs.server.TelemetryServer`: idempotent
+  ``POST /jobs`` keyed by :attr:`SimJob.key`, status/result at
+  ``GET /jobs/<key>``, queue depth at ``GET /queue``, the HTTP cache
+  backend at ``GET /cache/<key>``, and a journaled on-disk queue that
+  survives server restarts (:mod:`repro.service.server`);
+* :class:`JobQueue` — the durable lease-based queue behind the API
+  (:mod:`repro.service.queue`);
+* :class:`WorkerAgent` — the pull-based execution agent behind
+  ``repro worker URL``: claim with lease, execute via
+  :meth:`SimJob.run`, heartbeat over HTTP, complete or fail
+  (:mod:`repro.service.worker`);
+* :func:`submit_jobs` / :func:`fetch_results` — the client helpers
+  behind ``repro submit`` / ``repro fetch``
+  (:mod:`repro.service.client`).
+
+Results are byte-identical whether a cell is computed inline, by a
+local pool, or by a remote worker — the service only moves *where*
+:meth:`SimJob.run` executes, never *what* it computes.  See
+``docs/SERVICE.md`` for the API schema, the lease protocol, and the
+cache sharding/eviction design.
+"""
+
+from repro.service.client import (
+    JobRejected,
+    RemoteJobFailed,
+    fetch_results,
+    queue_snapshot,
+    submit_jobs,
+)
+from repro.service.queue import (
+    DEFAULT_LEASE_SECONDS,
+    JobQueue,
+    QueueEntry,
+)
+from repro.service.server import SERVICE_API_VERSION, ServiceServer
+from repro.service.worker import ServiceUnavailable, WorkerAgent
+
+__all__ = [
+    "DEFAULT_LEASE_SECONDS",
+    "JobQueue",
+    "JobRejected",
+    "QueueEntry",
+    "RemoteJobFailed",
+    "SERVICE_API_VERSION",
+    "ServiceServer",
+    "ServiceUnavailable",
+    "WorkerAgent",
+    "fetch_results",
+    "queue_snapshot",
+    "submit_jobs",
+]

@@ -1,0 +1,140 @@
+"""Client side of the simulation service: submit cells, fetch results.
+
+``repro submit`` and ``repro fetch`` are thin shells over these
+helpers.  The client computes the same content keys the server does
+(``SimJob.key``), so a submission is idempotent end-to-end: submitting
+the same sweep twice queues nothing the second time, and a sweep whose
+cells are already cached never queues at all.
+
+:func:`fetch_results` polls ``GET /jobs/<key>`` until every key is
+terminal and returns :class:`~repro.core.simulator.SimResult` objects
+in submission order — the same order, and byte-for-byte the same
+results, a local :func:`~repro.runtime.run_jobs` call would produce.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.simulator import SimResult
+from repro.runtime.job import SimJob
+from repro.service.worker import (
+    REQUEST_TIMEOUT,
+    ServiceUnavailable,
+    _post_json,
+)
+
+#: Default seconds between result polls.
+DEFAULT_FETCH_INTERVAL = 0.5
+
+
+class JobRejected(ValueError):
+    """The server refused a submission (validation failure)."""
+
+
+class RemoteJobFailed(RuntimeError):
+    """A job reached the ``failed`` state on the service."""
+
+
+def _get_json(url: str, path: str,
+              timeout: float = REQUEST_TIMEOUT) -> Optional[dict]:
+    """One GET round trip; ``None`` on 404, raises on connection loss."""
+    try:
+        with urllib.request.urlopen(
+            f"{url.rstrip('/')}{path}", timeout=timeout
+        ) as response:
+            payload = json.load(response)
+    except urllib.error.HTTPError as error:
+        if error.code == 404:
+            return None
+        raise ServiceUnavailable(f"{path}: HTTP {error.code}") from None
+    except (OSError, ValueError) as error:
+        raise ServiceUnavailable(f"{path}: {error}") from None
+    return payload if isinstance(payload, dict) else None
+
+
+def submit_jobs(url: str, jobs: Sequence[SimJob],
+                stream=None) -> Dict[str, str]:
+    """Submit every job; returns ``{key: state}`` as acknowledged.
+
+    Raises :class:`JobRejected` on a validation failure (the sweep is
+    malformed — pushing on would just fail every cell) and
+    :class:`ServiceUnavailable` when the server cannot be reached.
+    """
+    states: Dict[str, str] = {}
+    for job in jobs:
+        if not job.cacheable:
+            raise JobRejected(
+                f"ad-hoc Program job {job.label!r} has no canonical form "
+                "and cannot be submitted to a service"
+            )
+        response = _post_json(url, "/jobs", job.canonical())
+        if "error" in response:
+            raise JobRejected(f"{job.label}: {response['error']}")
+        states[job.key] = response.get("state", "pending")
+        if stream is not None:
+            tag = "cached" if response.get("cached") else states[job.key]
+            print(f"submitted {job.label}: {tag}", file=stream)
+    return states
+
+
+def fetch_results(
+    url: str,
+    jobs: Sequence[SimJob],
+    timeout: Optional[float] = None,
+    poll_interval: float = DEFAULT_FETCH_INTERVAL,
+    stream=None,
+    _sleep=time.sleep,
+) -> List[SimResult]:
+    """Poll until every job is terminal; results in submission order.
+
+    Raises :class:`RemoteJobFailed` if any job fails on the service,
+    :class:`TimeoutError` when ``timeout`` seconds pass with jobs still
+    in flight, and :class:`ServiceUnavailable` on connection loss.
+    """
+    deadline = (time.monotonic() + timeout) if timeout is not None else None
+    results: Dict[str, SimResult] = {}
+    failed: Dict[str, str] = {}
+    keys = [job.key for job in jobs]
+    announced: Dict[str, str] = {}
+    while True:
+        for job, key in zip(jobs, keys):
+            if key in results or key in failed:
+                continue
+            document = _get_json(url, f"/jobs/{key}")
+            if document is None:
+                continue  # not submitted yet (or evicted): keep polling
+            state = document.get("state")
+            if stream is not None and announced.get(key) != state:
+                announced[key] = state
+                print(f"{job.label}: {state}", file=stream)
+            if state == "done" and document.get("result") is not None:
+                results[key] = SimResult.from_dict(document["result"])
+            elif state == "failed":
+                failed[key] = document.get("reason") or "unknown failure"
+        if failed:
+            details = "; ".join(
+                f"{job.label}: {failed[key]}"
+                for job, key in zip(jobs, keys) if key in failed)
+            raise RemoteJobFailed(details)
+        if len(results) == len(keys):
+            return [results[key] for key in keys]
+        if deadline is not None and time.monotonic() > deadline:
+            missing = [job.label for job, key in zip(jobs, keys)
+                       if key not in results]
+            raise TimeoutError(
+                f"{len(missing)} job(s) still in flight after {timeout}s: "
+                + ", ".join(missing[:5]))
+        _sleep(poll_interval)
+
+
+def queue_snapshot(url: str) -> dict:
+    """The service's ``GET /queue`` document."""
+    document = _get_json(url, "/queue")
+    if document is None:
+        raise ServiceUnavailable("/queue: not found")
+    return document

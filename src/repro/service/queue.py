@@ -1,0 +1,352 @@
+"""Durable, lease-based job queue backing the simulation service.
+
+The queue is the service's single source of scheduling truth: every
+state transition — submit, claim, complete, fail, re-queue — appends one
+JSON line to ``queue.jsonl`` in the service data directory, exactly the
+journal-then-state discipline of the run telemetry's ``events.jsonl``
+(see ``docs/OBSERVABILITY.md``).  A restarted server replays the journal
+and resumes pending work; jobs that were *running* when the server died
+are re-queued on replay, because their workers have nobody to report
+completion to anymore.
+
+Leases make the pull model crash-safe.  A claim hands the worker the
+job plus a lease deadline; heartbeats renew the lease (renewals are
+deliberately *not* journaled — they are high-rate and carry no
+scheduling information a restart could use).  When a worker dies
+mid-job, its lease expires and the next :meth:`JobQueue.expire` sweep —
+run lazily on every claim and every ``/queue`` scrape, no background
+thread — moves the job back to pending.  Completions are accepted from
+any worker whenever the entry is not already done: results are
+content-addressed, so a "late" completion from a presumed-dead worker
+is identical to the re-queued one and harmless to accept.
+
+Results do not live here.  ``complete`` records only that the job
+finished and how long it took; the result document itself goes to the
+sharded :class:`~repro.runtime.cache.ResultCache`, which is the durable
+result store the ``GET /jobs/<key>`` endpoint reads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional
+
+#: Bump on any change to the journal's record shapes.
+QUEUE_SCHEMA_VERSION = 1
+
+#: Seconds a claimed job may go without a heartbeat before its lease
+#: expires and the job is re-queued.
+DEFAULT_LEASE_SECONDS = 60.0
+
+#: The states a queue entry moves through.
+ENTRY_STATES = ("pending", "running", "done", "failed")
+
+
+@dataclasses.dataclass
+class QueueEntry:
+    """One submitted job and its scheduling state."""
+
+    key: str
+    payload: dict
+    index: int
+    state: str = "pending"
+    submitted: float = 0.0
+    worker: Optional[str] = None
+    lease_deadline: Optional[float] = None
+    claims: int = 0
+    requeues: int = 0
+    elapsed: Optional[float] = None
+    reason: Optional[str] = None
+
+    def public(self, now: Optional[float] = None) -> dict:
+        """The ``GET /jobs/<key>`` / ``GET /queue`` view of this entry."""
+        now = time.time() if now is None else now
+        record = {
+            "key": self.key,
+            "index": self.index,
+            "state": self.state,
+            "label": _payload_label(self.payload),
+            "age_seconds": max(0.0, now - self.submitted),
+            "claims": self.claims,
+            "requeues": self.requeues,
+        }
+        if self.worker is not None:
+            record["worker"] = self.worker
+        if self.state == "running" and self.lease_deadline is not None:
+            record["lease_remaining"] = self.lease_deadline - now
+        if self.elapsed is not None:
+            record["elapsed"] = self.elapsed
+        if self.reason is not None:
+            record["reason"] = self.reason
+        return record
+
+
+def _payload_label(payload: dict) -> str:
+    benchmark = payload.get("benchmark", "?")
+    kind = (payload.get("spec") or {}).get("kind", "?")
+    return f"{benchmark} × {kind}"
+
+
+class JobQueue:
+    """Journaled in-memory queue with lease-based claims.
+
+    Thread-safe: the HTTP server handles each request on its own
+    thread, so every public method takes the queue lock.  Persistence
+    is append-only; the in-memory dict is always rebuilt from the
+    journal at startup, torn tail lines (a server killed mid-append)
+    are skipped exactly like the resume journal's replay.
+    """
+
+    def __init__(self, directory: str,
+                 lease_seconds: float = DEFAULT_LEASE_SECONDS) -> None:
+        self.directory = os.fspath(directory)
+        self.lease_seconds = float(lease_seconds)
+        self.journal_path = os.path.join(self.directory, "queue.jsonl")
+        self._lock = threading.RLock()
+        self._entries: Dict[str, QueueEntry] = {}
+        self._order: List[str] = []  # submission order
+        self.write_errors = 0
+        os.makedirs(self.directory, exist_ok=True)
+        self._replay()
+
+    # ------------------------------------------------------------------
+    # Journal.
+    # ------------------------------------------------------------------
+    def _append(self, event: str, key: str, **fields) -> None:
+        record = {"event": event, "key": key, "ts": time.time(),
+                  "schema": QUEUE_SCHEMA_VERSION}
+        record.update(fields)
+        line = json.dumps(record, sort_keys=True)
+        try:
+            with open(self.journal_path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError:
+            # Degrade like the telemetry writer: scheduling continues
+            # in memory, durability is reduced until the disk recovers.
+            self.write_errors += 1
+
+    def _replay(self) -> None:
+        try:
+            with open(self.journal_path, encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn tail from a killed server
+            self._apply(record)
+        # Jobs that were running when the server died: their workers
+        # can no longer report back, so put them back in line.
+        for key in list(self._order):
+            entry = self._entries[key]
+            if entry.state == "running":
+                entry.state = "pending"
+                entry.worker = None
+                entry.lease_deadline = None
+                entry.requeues += 1
+                self._append("requeue", key, reason="server restart",
+                             requeues=entry.requeues)
+
+    def _apply(self, record: dict) -> None:
+        event = record.get("event")
+        key = record.get("key")
+        if not isinstance(key, str):
+            return
+        entry = self._entries.get(key)
+        if event == "submit":
+            if entry is None:
+                payload = record.get("payload")
+                if not isinstance(payload, dict):
+                    return
+                entry = QueueEntry(
+                    key=key, payload=payload, index=len(self._order),
+                    submitted=record.get("ts", 0.0),
+                )
+                self._entries[key] = entry
+                self._order.append(key)
+            return
+        if entry is None:
+            return  # transition for a job we never saw submitted
+        if event == "claim":
+            entry.state = "running"
+            entry.worker = record.get("worker")
+            entry.claims += 1
+            entry.lease_deadline = record.get("ts", 0.0) + self.lease_seconds
+        elif event == "complete":
+            entry.state = "done"
+            entry.worker = record.get("worker", entry.worker)
+            entry.elapsed = record.get("elapsed")
+            entry.lease_deadline = None
+        elif event == "fail":
+            entry.state = "failed"
+            entry.worker = record.get("worker", entry.worker)
+            entry.reason = record.get("reason")
+            entry.lease_deadline = None
+        elif event == "requeue":
+            entry.state = "pending"
+            entry.worker = None
+            entry.lease_deadline = None
+            entry.requeues = record.get("requeues", entry.requeues + 1)
+
+    # ------------------------------------------------------------------
+    # Transitions.
+    # ------------------------------------------------------------------
+    def submit(self, key: str, payload: dict) -> tuple:
+        """Enqueue a job; idempotent.  Returns ``(entry, created)``.
+
+        A duplicate key — same cell submitted twice, by any client —
+        returns the existing entry in whatever state it has reached, so
+        concurrent identical sweeps coalesce onto one computation.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                return entry, False
+            entry = QueueEntry(
+                key=key, payload=payload, index=len(self._order),
+                submitted=time.time(),
+            )
+            self._entries[key] = entry
+            self._order.append(key)
+            self._append("submit", key, payload=payload, index=entry.index)
+            return entry, True
+
+    def claim(self, worker: str) -> Optional[QueueEntry]:
+        """Lease the oldest pending job to ``worker`` (``None`` if idle)."""
+        with self._lock:
+            self.expire()
+            for key in self._order:
+                entry = self._entries[key]
+                if entry.state != "pending":
+                    continue
+                entry.state = "running"
+                entry.worker = worker
+                entry.claims += 1
+                entry.lease_deadline = time.time() + self.lease_seconds
+                self._append("claim", key, worker=worker,
+                             claims=entry.claims)
+                return entry
+            return None
+
+    def renew(self, key: str, worker: Optional[str] = None) -> bool:
+        """Extend a running job's lease (heartbeat path; not journaled)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.state != "running":
+                return False
+            if worker is not None and entry.worker != worker:
+                return False
+            entry.lease_deadline = time.time() + self.lease_seconds
+            return True
+
+    def complete(self, key: str, worker: Optional[str] = None,
+                 elapsed: Optional[float] = None) -> bool:
+        """Mark a job done.  Accepted whenever the entry is not done yet.
+
+        Content-addressed results make completion idempotent and
+        worker-agnostic: a late completion from a worker whose lease
+        already expired carries the same bytes the re-queued execution
+        would produce, so refusing it would only waste work.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.state == "done":
+                return False
+            entry.state = "done"
+            entry.worker = worker or entry.worker
+            entry.elapsed = elapsed
+            entry.lease_deadline = None
+            entry.reason = None
+            self._append("complete", key, worker=entry.worker,
+                         elapsed=elapsed)
+            return True
+
+    def fail(self, key: str, reason: str,
+             worker: Optional[str] = None) -> bool:
+        """Mark a job failed (deterministic simulation error)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or entry.state == "done":
+                return False
+            entry.state = "failed"
+            entry.worker = worker or entry.worker
+            entry.reason = reason
+            entry.lease_deadline = None
+            self._append("fail", key, worker=entry.worker, reason=reason)
+            return True
+
+    def expire(self, now: Optional[float] = None) -> int:
+        """Re-queue every running job whose lease has lapsed.
+
+        Called lazily from :meth:`claim` and the ``/queue`` endpoint —
+        the queue needs no background thread, it just needs traffic,
+        and an idle queue has nothing to expire that matters.
+        """
+        now = time.time() if now is None else now
+        expired = 0
+        with self._lock:
+            for key in self._order:
+                entry = self._entries[key]
+                if (entry.state == "running"
+                        and entry.lease_deadline is not None
+                        and entry.lease_deadline < now):
+                    entry.state = "pending"
+                    entry.worker = None
+                    entry.lease_deadline = None
+                    entry.requeues += 1
+                    self._append("requeue", key, reason="lease expired",
+                                 requeues=entry.requeues)
+                    expired += 1
+        return expired
+
+    # ------------------------------------------------------------------
+    # Views.
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[QueueEntry]:
+        with self._lock:
+            return self._entries.get(key)
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {state: 0 for state in ENTRY_STATES}
+            for entry in self._entries.values():
+                counts[entry.state] = counts.get(entry.state, 0) + 1
+            return counts
+
+    def snapshot(self) -> dict:
+        """The ``GET /queue`` document: depth, ages, per-state counts."""
+        with self._lock:
+            self.expire()
+            now = time.time()
+            counts = self.counts()
+            pending = [self._entries[key] for key in self._order
+                       if self._entries[key].state == "pending"]
+            oldest = max(
+                (now - entry.submitted for entry in pending), default=0.0)
+            return {
+                "schema": QUEUE_SCHEMA_VERSION,
+                "generated": now,
+                "depth": counts["pending"] + counts["running"],
+                "counts": counts,
+                "oldest_pending_seconds": oldest,
+                "lease_seconds": self.lease_seconds,
+                "write_errors": self.write_errors,
+                "entries": [self._entries[key].public(now)
+                            for key in self._order],
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,347 @@
+"""The simulation service's HTTP server: job API + shared cache tier.
+
+:class:`ServiceServer` grows the read-only
+:class:`~repro.obs.server.TelemetryServer` into a writable job API
+(same stdlib ``ThreadingHTTPServer``, same exposition helpers, same
+fail-soft handler discipline) fronting a :class:`JobQueue` and the
+sharded :class:`~repro.runtime.cache.ResultCache`:
+
+``POST /jobs``
+    Body: a job's canonical form (``SimJob.canonical()``).  Validated
+    strictly — schema version, catalog benchmark, spec/config field
+    checks — and keyed by the same SHA-256 content hash clients
+    compute, so submission is idempotent: a duplicate key returns the
+    existing job.  A key already in the cache is answered ``done``
+    *without queueing anything* — that is the warm-sweep fast path.
+``GET /jobs/<key>``
+    Status + (when done) the cached result document.
+``GET /queue``
+    Queue depth, per-state counts, oldest pending age, entry list.
+``GET /cache/<key>``
+    The raw cache entry — the HTTP cache backend remote
+    :class:`ResultCache` instances consult on local misses.
+``POST /claim`` / ``POST /complete`` / ``POST /fail`` / ``POST /heartbeat``
+    The worker protocol (see :mod:`repro.service.worker` and
+    ``docs/SERVICE.md``).  Heartbeats renew the job's lease and are
+    written to the service data directory's heartbeat channel in
+    :mod:`repro.obs.heartbeat` format, so ``/metrics`` and ``repro top``
+    see remote workers exactly like local pool workers.
+``GET /metrics``
+    Everything the telemetry exporter serves, plus queue gauges and
+    per-shard cache hit/miss/eviction counters.
+
+All mutating endpoints are journaled through the queue before they are
+acknowledged, so a SIGKILL'd server restarted on the same data
+directory resumes pending work and re-queues whatever was running.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Optional
+
+from repro.obs.heartbeat import heartbeat_dir
+from repro.obs.server import PrometheusText, TelemetryServer, _json_bytes
+from repro.runtime.cache import ResultCache
+from repro.runtime.job import SimJob
+from repro.service.queue import DEFAULT_LEASE_SECONDS, JobQueue
+
+#: Bump on any change to the service's request/response shapes.
+SERVICE_API_VERSION = 1
+
+
+class ServiceServer(TelemetryServer):
+    """Job-submission and shared-cache HTTP service.
+
+    ``data_dir`` holds everything durable: ``queue.jsonl`` and the
+    ``heartbeats/`` channel.  The cache root is whatever the
+    :class:`ResultCache` resolves (``REPRO_CACHE_DIR`` or the explicit
+    ``cache``); the server's own cache never consults a remote tier —
+    it *is* the remote tier.
+    """
+
+    def __init__(
+        self,
+        data_dir: str,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        cache: Optional[ResultCache] = None,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        registry=None,
+        stale_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(port=port, host=host, registry=registry,
+                         telemetry_dir=data_dir, stale_after=stale_after)
+        self.data_dir = os.fspath(data_dir)
+        os.makedirs(self.data_dir, exist_ok=True)
+        self.queue = JobQueue(self.data_dir, lease_seconds=lease_seconds)
+        self.cache = cache if cache is not None else ResultCache(remote=False)
+        self.submits = 0
+        self.submit_cache_hits = 0
+        self.submit_duplicates = 0
+        self.submit_rejected = 0
+
+    # ------------------------------------------------------------------
+    # GET routing.
+    # ------------------------------------------------------------------
+    def handle(self, request) -> None:
+        path = request.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/queue":
+                self.scrapes += 1
+                self._respond(request, 200, _json_bytes(
+                    self.queue.snapshot()), "application/json")
+                return
+            if path.startswith("/jobs/"):
+                self.scrapes += 1
+                self._job_status(request, path[len("/jobs/"):])
+                return
+            if path.startswith("/cache/"):
+                self.scrapes += 1
+                self._cache_entry(request, path[len("/cache/"):])
+                return
+        except Exception as error:  # same fail-soft contract as the base
+            try:
+                self._respond(request, 500,
+                              _json_bytes({"error": str(error)}),
+                              "application/json")
+            except Exception:
+                pass
+            return
+        super().handle(request)
+
+    def _job_status(self, request, key: str) -> None:
+        entry = self.queue.get(key)
+        cached = self.cache.load_key(key)
+        if entry is None and cached is None:
+            self._respond(request, 404,
+                          _json_bytes({"error": f"unknown job {key}"}),
+                          "application/json")
+            return
+        document = {"key": key, "api": SERVICE_API_VERSION}
+        if entry is not None:
+            document.update(entry.public())
+        if cached is not None:
+            document["state"] = "done"
+            document["result"] = cached.get("result")
+            document.setdefault("elapsed", cached.get("elapsed"))
+            document["cached"] = True
+        self._respond(request, 200, _json_bytes(document),
+                      "application/json")
+
+    def _cache_entry(self, request, key: str) -> None:
+        payload = self.cache.load_key(key)
+        if payload is None:
+            self._respond(request, 404,
+                          _json_bytes({"error": f"cache miss for {key}"}),
+                          "application/json")
+            return
+        self._respond(request, 200, _json_bytes(payload),
+                      "application/json")
+
+    # ------------------------------------------------------------------
+    # POST routing (the writable half the telemetry exporter lacks).
+    # ------------------------------------------------------------------
+    def handle_post(self, request) -> None:
+        path = request.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            body = self._read_json_body(request)
+        except ValueError as error:
+            self._respond(request, 400,
+                          _json_bytes({"error": f"bad request body: {error}"}),
+                          "application/json")
+            return
+        try:
+            if path == "/jobs":
+                status, document = self._post_job(body)
+            elif path == "/claim":
+                status, document = self._post_claim(body)
+            elif path == "/complete":
+                status, document = self._post_complete(body)
+            elif path == "/fail":
+                status, document = self._post_fail(body)
+            elif path == "/heartbeat":
+                status, document = self._post_heartbeat(body)
+            else:
+                status, document = 404, {
+                    "error": f"unknown endpoint {path}",
+                    "endpoints": ["/jobs", "/claim", "/complete",
+                                  "/fail", "/heartbeat"],
+                }
+        except Exception as error:
+            status, document = 500, {"error": str(error)}
+        try:
+            self._respond(request, status, _json_bytes(document),
+                          "application/json")
+        except Exception:
+            pass
+
+    def _post_job(self, body: dict):
+        """Validate, dedupe, and enqueue one submission."""
+        self.submits += 1
+        try:
+            job = SimJob.from_canonical(body)
+            # Resolve the benchmark now so an unknown name is a clean
+            # 400 at submission, not a failed job on some worker later.
+            from repro.workloads.profiles import profile_for
+            profile_for(job.benchmark)
+        except (KeyError, ValueError, TypeError) as error:
+            self.submit_rejected += 1
+            return 400, {"error": f"invalid job: {error}"}
+        key = job.key
+        if self.cache.load_key(key) is not None:
+            # Warm path: the cell is already computed; nothing queues,
+            # no worker wakes, the submit is answered from disk.
+            self.submit_cache_hits += 1
+            return 200, {"key": key, "state": "done", "cached": True}
+        entry, created = self.queue.submit(key, job.canonical())
+        if not created:
+            self.submit_duplicates += 1
+        return (202 if created else 200), {
+            "key": key,
+            "state": entry.state,
+            "cached": False,
+            "created": created,
+        }
+
+    def _post_claim(self, body: dict):
+        worker = str(body.get("worker") or "anonymous")
+        entry = self.queue.claim(worker)
+        if entry is None:
+            return 200, {"job": None,
+                         "depth": self.queue.counts()["pending"]}
+        return 200, {
+            "job": entry.payload,
+            "key": entry.key,
+            "index": entry.index,
+            "claims": entry.claims,
+            "lease_seconds": self.queue.lease_seconds,
+        }
+
+    def _post_complete(self, body: dict):
+        key = body.get("key")
+        result = body.get("result")
+        if not isinstance(key, str) or not isinstance(result, dict):
+            return 400, {"error": "complete needs 'key' and 'result'"}
+        entry = self.queue.get(key)
+        if entry is None:
+            return 404, {"error": f"unknown job {key}"}
+        try:
+            job = SimJob.from_canonical(entry.payload)
+            from repro.core.simulator import SimResult
+            sim_result = SimResult.from_dict(result)
+        except (KeyError, ValueError, TypeError) as error:
+            return 400, {"error": f"invalid result payload: {error}"}
+        elapsed = body.get("elapsed")
+        # Cache first, then journal: if we die between the two the
+        # restarted server finds the key cached and answers done anyway.
+        self.cache.store(job, sim_result, elapsed=elapsed)
+        accepted = self.queue.complete(
+            key, worker=body.get("worker"), elapsed=elapsed)
+        return 200, {"key": key, "accepted": accepted, "state": "done"}
+
+    def _post_fail(self, body: dict):
+        key = body.get("key")
+        if not isinstance(key, str):
+            return 400, {"error": "fail needs 'key'"}
+        if self.queue.get(key) is None:
+            return 404, {"error": f"unknown job {key}"}
+        accepted = self.queue.fail(
+            key, reason=str(body.get("reason") or "worker reported failure"),
+            worker=body.get("worker"))
+        return 200, {"key": key, "accepted": accepted}
+
+    def _post_heartbeat(self, body: dict):
+        """Record a worker heartbeat and renew its job lease.
+
+        The body is an :mod:`repro.obs.heartbeat` record plus ``key`` /
+        ``worker`` routing fields.  It is rewritten server-side with the
+        server's clock so staleness math never trusts a remote clock,
+        then stored as ``heartbeats/hb-<index>.json`` — the exact
+        channel HeartbeatMonitor, ``/metrics``, and ``repro top`` read.
+        """
+        key = body.get("key")
+        renewed = False
+        if isinstance(key, str):
+            renewed = self.queue.renew(key, worker=body.get("worker"))
+        record = {field: body.get(field) for field in
+                  ("schema", "pid", "index", "key", "label", "attempt",
+                   "beats", "cycles", "retired", "ipc", "elapsed",
+                   "profile", "done", "worker")
+                  if body.get(field) is not None}
+        record["ts"] = time.time()
+        index = record.get("index", 0)
+        directory = heartbeat_dir(self.data_dir)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            path = os.path.join(directory, f"hb-{index}.json")
+            fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".hb-",
+                                            suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(tmp_path, path)
+        except OSError:
+            pass  # a sick disk degrades observability, not scheduling
+        return 200, {"renewed": renewed}
+
+    # ------------------------------------------------------------------
+    # /metrics: telemetry families + queue + sharded cache.
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        document = super().healthz()
+        document["endpoints"] = [
+            "/metrics", "/jobs", "/jobs/<key>", "/queue", "/cache/<key>",
+            "/runs", "/healthz",
+        ]
+        document["role"] = "service"
+        return document
+
+    def metrics_text(self) -> str:
+        text = PrometheusText()
+        text.sample("exporter.uptime_seconds", "gauge",
+                    time.time() - self.started)
+        text.sample("exporter.scrapes", "counter", self.scrapes)
+        self._queue_metrics(text)
+        self._cache_metrics(text)
+        self._heartbeat_metrics(text)
+        if self.registry is not None:
+            from repro.obs.server import registry_to_prometheus
+            registry_to_prometheus(self.registry, text)
+        return text.render()
+
+    def _queue_metrics(self, text: PrometheusText) -> None:
+        snapshot = self.queue.snapshot()
+        text.sample("service.queue_depth", "gauge", snapshot["depth"])
+        text.sample("service.queue_oldest_pending_seconds", "gauge",
+                    snapshot["oldest_pending_seconds"])
+        for state, count in sorted(snapshot["counts"].items()):
+            text.sample("service.jobs", "gauge", count, state=state)
+        text.sample("service.queue_write_errors", "counter",
+                    self.queue.write_errors)
+        text.sample("service.submits", "counter", self.submits)
+        text.sample("service.submit_cache_hits", "counter",
+                    self.submit_cache_hits)
+        text.sample("service.submit_duplicates", "counter",
+                    self.submit_duplicates)
+        text.sample("service.submit_rejected", "counter",
+                    self.submit_rejected)
+        requeues = sum(entry.get("requeues", 0)
+                       for entry in snapshot["entries"])
+        text.sample("service.requeues", "counter", requeues)
+
+    def _cache_metrics(self, text: PrometheusText) -> None:
+        stats = self.cache.stats
+        for field in ("hits", "misses", "stores", "corrupt", "evicted",
+                      "migrated", "remote_hits"):
+            text.sample(f"cache.{field}", "counter", getattr(stats, field))
+        text.sample("cache.hit_rate", "gauge", stats.hit_rate)
+        text.sample("cache.shards", "gauge", self.cache.shards)
+        for index in sorted(self.cache.shard_stats):
+            shard = self.cache.shard_stats[index]
+            labels = {"shard": f"{index:03d}"}
+            for field in ("hits", "misses", "stores", "evicted"):
+                text.sample(f"cache.shard_{field}", "counter",
+                            getattr(shard, field), **labels)

@@ -1,0 +1,283 @@
+"""Pull-based worker agent: claims, executes, heartbeats, completes.
+
+``repro worker URL`` runs a :class:`WorkerAgent` loop against a
+:class:`~repro.service.server.ServiceServer`:
+
+1. ``POST /claim`` — lease the oldest pending job.  An idle queue is
+   polled at ``poll_interval``; ``max_idle`` bounds how long an idle
+   worker lingers (fleet scale-down), ``max_jobs`` bounds how many jobs
+   one agent runs (CI smoke tests).
+2. Check the *local* result cache — the service deduplicates at
+   submission, but a cell can land in the cache between submit and
+   claim, and serving it from disk beats re-simulating.
+3. Execute via the exact :meth:`SimJob.run` path the
+   :class:`~repro.runtime.executor.ExperimentEngine` uses, with a
+   simulator progress hook that ``POST /heartbeat``s every
+   ``heartbeat_cycles`` simulated cycles — the same cadence contract as
+   :mod:`repro.obs.heartbeat`, carried over HTTP.  Each heartbeat
+   renews the job's lease, so "alive" and "making progress" are the
+   same signal.
+4. ``POST /complete`` with the result document (or ``POST /fail`` when
+   the simulation itself raises — a deterministic error no retry can
+   fix).  Results are also stored in the worker's local cache.
+
+Crash-safety falls out of the lease protocol, not worker cleverness: a
+SIGKILL'd worker simply stops heartbeating, the server's next sweep
+re-queues the job, and another claim re-executes it.  Because jobs are
+content-addressed and simulations deterministic, the re-executed result
+is byte-identical — a late completion from a zombie worker is
+indistinguishable from the re-queued one.
+
+Fault injection: arming ``worker.lease_expire`` in a
+:class:`~repro.resilience.FaultPlan` makes the agent *abandon* a job
+right after claiming it — no execution, no heartbeat, no completion —
+which is exactly what a worker killed at the worst moment looks like to
+the server.  The chaos suite uses it to prove the lease path re-queues
+exactly once with an unchanged final result.
+
+Connection trouble is never a traceback: claims retry with exponential
+backoff, and a server that stays gone ends the loop with a clean
+message (exit 0 if this agent ever did useful work, 1 if it could never
+connect).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from repro.obs.heartbeat import HEARTBEAT_SCHEMA_VERSION
+from repro.runtime.cache import ResultCache
+from repro.runtime.job import SimJob
+
+#: Default seconds between claim polls when the queue is empty.
+DEFAULT_POLL_INTERVAL = 1.0
+
+#: Claim-connection retry schedule: attempts and backoff base seconds.
+CONNECT_RETRIES = 4
+CONNECT_BACKOFF = 0.25
+
+#: Seconds allowed for one worker-protocol HTTP round trip.
+REQUEST_TIMEOUT = 10.0
+
+
+class ServiceUnavailable(OSError):
+    """The service endpoint cannot be reached (or returned junk)."""
+
+
+def _post_json(url: str, path: str, document: dict,
+               timeout: float = REQUEST_TIMEOUT) -> dict:
+    """One POST round trip; raises :class:`ServiceUnavailable` on trouble."""
+    body = json.dumps(document, sort_keys=True).encode("utf-8")
+    request = urllib.request.Request(
+        f"{url.rstrip('/')}{path}",
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            payload = json.load(response)
+    except urllib.error.HTTPError as error:
+        # The server answered: surface its error document.
+        try:
+            payload = json.load(error)
+        except Exception:
+            payload = {"error": str(error)}
+        payload.setdefault("status", error.code)
+        return payload
+    except (OSError, socket.timeout, ValueError) as error:
+        raise ServiceUnavailable(f"{path}: {error}") from None
+    if not isinstance(payload, dict):
+        raise ServiceUnavailable(f"{path}: non-object response")
+    return payload
+
+
+class WorkerAgent:
+    """One pull-based execution loop against a service URL."""
+
+    def __init__(
+        self,
+        url: str,
+        name: Optional[str] = None,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        max_jobs: Optional[int] = None,
+        max_idle: Optional[float] = None,
+        heartbeat_cycles: int = 2_000,
+        cache: Optional[ResultCache] = None,
+        faults=None,
+        stream=None,
+        _sleep=time.sleep,
+    ) -> None:
+        self.url = url.rstrip("/")
+        self.name = name or f"{socket.gethostname()}-{os.getpid()}"
+        self.poll_interval = max(0.05, float(poll_interval))
+        self.max_jobs = max_jobs
+        self.max_idle = max_idle
+        self.heartbeat_cycles = max(0, int(heartbeat_cycles))
+        # The worker's cache never goes remote: the service already
+        # told us the key was a miss when it queued the job.
+        self.cache = cache if cache is not None else ResultCache(remote=False)
+        self.faults = faults
+        self.stream = stream if stream is not None else sys.stderr
+        self._sleep = _sleep
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self.jobs_abandoned = 0
+        self.cache_hits = 0
+        self.heartbeats = 0
+        self.heartbeat_errors = 0
+
+    def _say(self, message: str) -> None:
+        print(f"worker {self.name}: {message}", file=self.stream)
+
+    # ------------------------------------------------------------------
+    def _claim(self) -> Optional[dict]:
+        """One claim with connection retries; raises when the server
+        stays unreachable through the whole backoff schedule."""
+        delay = CONNECT_BACKOFF
+        for attempt in range(CONNECT_RETRIES + 1):
+            try:
+                return _post_json(self.url, "/claim",
+                                  {"worker": self.name})
+            except ServiceUnavailable:
+                if attempt == CONNECT_RETRIES:
+                    raise
+                self._sleep(delay)
+                delay *= 2
+        return None  # unreachable
+
+    def run(self) -> int:
+        """The claim/execute loop; returns a process exit code."""
+        connected = False
+        idle_since: Optional[float] = None
+        while True:
+            if self.max_jobs is not None and self.jobs_done >= self.max_jobs:
+                self._say(f"done: {self.jobs_done} job(s) executed")
+                return 0
+            try:
+                response = self._claim()
+            except ServiceUnavailable as error:
+                if connected:
+                    self._say(f"service went away ({error}); exiting")
+                    return 0
+                self._say(f"cannot connect to {self.url} ({error})")
+                return 1
+            connected = True
+            job_payload = response.get("job") if response else None
+            if not job_payload:
+                now = time.monotonic()
+                idle_since = idle_since if idle_since is not None else now
+                if (self.max_idle is not None
+                        and now - idle_since >= self.max_idle):
+                    self._say("queue idle; exiting")
+                    return 0
+                self._sleep(self.poll_interval)
+                continue
+            idle_since = None
+            self._handle(response)
+
+    # ------------------------------------------------------------------
+    def _handle(self, claim: dict) -> None:
+        key = claim.get("key")
+        index = claim.get("index", 0)
+        attempt = max(0, int(claim.get("claims", 1)) - 1)
+        try:
+            job = SimJob.from_canonical(claim["job"])
+        except (KeyError, ValueError, TypeError) as error:
+            self._report_fail(key, f"undecodable job payload: {error}")
+            return
+        if key is not None and job.key != key:
+            self._report_fail(
+                key, f"key mismatch: payload hashes to {job.key}")
+            return
+        if (self.faults is not None
+                and self.faults.fires("worker.lease_expire",
+                                      index=index, attempt=attempt)):
+            # Injected abandonment: hold the claim silently until the
+            # lease lapses — to the server, a worker killed post-claim.
+            self.jobs_abandoned += 1
+            self._say(f"abandoning {job.label} (injected lease expiry)")
+            return
+        self._say(f"claimed {job.label} (attempt {attempt})")
+        cached = self.cache.load(job)
+        if cached is not None:
+            self.cache_hits += 1
+            self._report_complete(job, cached.to_dict(), elapsed=0.0)
+            return
+        started = time.monotonic()
+        hook = self._heartbeat_hook(job, index, attempt, started)
+        try:
+            result = job.run(
+                progress_hook=hook if self.heartbeat_cycles else None,
+                progress_interval=self.heartbeat_cycles or 2_000,
+            )
+        except Exception as error:
+            # Deterministic simulation error: retrying on another
+            # worker would fail identically, so tell the server.
+            self._report_fail(key, f"{type(error).__name__}: {error}")
+            return
+        elapsed = time.monotonic() - started
+        self.cache.store(job, result, elapsed=elapsed)
+        self._report_complete(job, result.to_dict(), elapsed=elapsed)
+
+    def _heartbeat_hook(self, job: SimJob, index: int, attempt: int,
+                        started: float):
+        """A simulator progress hook posting heartbeats over HTTP."""
+        def beat(pipeline) -> None:
+            stats = pipeline.stats
+            record = {
+                "schema": HEARTBEAT_SCHEMA_VERSION,
+                "pid": os.getpid(),
+                "index": index,
+                "key": job.key,
+                "label": job.label,
+                "attempt": attempt,
+                "beats": self.heartbeats,
+                "cycles": stats.cycles,
+                "retired": stats.retired,
+                "ipc": stats.ipc,
+                "elapsed": time.monotonic() - started,
+                "worker": self.name,
+            }
+            try:
+                _post_json(self.url, "/heartbeat", record, timeout=5.0)
+                self.heartbeats += 1
+            except ServiceUnavailable:
+                # Beats are best-effort; the run itself must not care.
+                self.heartbeat_errors += 1
+        return beat
+
+    def _report_complete(self, job: SimJob, result: dict,
+                         elapsed: float) -> None:
+        try:
+            _post_json(self.url, "/complete", {
+                "key": job.key,
+                "worker": self.name,
+                "result": result,
+                "elapsed": elapsed,
+            })
+            self.jobs_done += 1
+            self._say(f"completed {job.label} in {elapsed:.2f}s")
+        except ServiceUnavailable as error:
+            # The lease will expire and the job re-queue; our local
+            # cache keeps the work so the re-execution is instant here.
+            self._say(f"could not report completion ({error})")
+
+    def _report_fail(self, key, reason: str) -> None:
+        self.jobs_failed += 1
+        self._say(f"job failed: {reason}")
+        if key is None:
+            return
+        try:
+            _post_json(self.url, "/fail", {
+                "key": key, "worker": self.name, "reason": reason,
+            })
+        except ServiceUnavailable:
+            pass

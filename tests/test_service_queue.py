@@ -1,0 +1,156 @@
+"""Tests of the durable lease-based job queue behind the service."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.queue import JobQueue
+
+
+def payload(n: int = 0) -> dict:
+    return {"benchmark": "gzip", "spec": {"kind": "base"},
+            "instructions": 2_000 + n, "warmup": 1_000, "schema": 2}
+
+
+def key(n: int = 0) -> str:
+    return f"{n:064x}"
+
+
+class TestSubmission:
+    def test_submit_is_idempotent(self, tmp_path):
+        queue = JobQueue(str(tmp_path))
+        first, created = queue.submit(key(1), payload(1))
+        assert created and first.state == "pending"
+        again, created_again = queue.submit(key(1), payload(1))
+        assert not created_again and again is first
+        assert len(queue) == 1
+
+    def test_duplicate_after_completion_returns_done_entry(self, tmp_path):
+        queue = JobQueue(str(tmp_path))
+        queue.submit(key(1), payload(1))
+        queue.claim("w1")
+        queue.complete(key(1), worker="w1", elapsed=0.2)
+        entry, created = queue.submit(key(1), payload(1))
+        assert not created and entry.state == "done"
+
+
+class TestLeases:
+    def test_claim_order_is_submission_order(self, tmp_path):
+        queue = JobQueue(str(tmp_path))
+        for n in range(3):
+            queue.submit(key(n), payload(n))
+        claimed = [queue.claim("w").key for _ in range(3)]
+        assert claimed == [key(0), key(1), key(2)]
+        assert queue.claim("w") is None
+
+    def test_expired_lease_requeues_exactly_once(self, tmp_path):
+        queue = JobQueue(str(tmp_path), lease_seconds=0.01)
+        queue.submit(key(1), payload(1))
+        entry = queue.claim("w1")
+        assert entry.state == "running" and entry.claims == 1
+        assert queue.expire(now=entry.lease_deadline + 1) == 1
+        assert entry.state == "pending" and entry.requeues == 1
+        # A second sweep finds nothing left to expire.
+        assert queue.expire() == 0
+        reclaimed = queue.claim("w2")
+        assert reclaimed.key == key(1) and reclaimed.claims == 2
+
+    def test_renew_extends_lease_and_checks_worker(self, tmp_path):
+        queue = JobQueue(str(tmp_path), lease_seconds=30)
+        queue.submit(key(1), payload(1))
+        entry = queue.claim("w1")
+        before = entry.lease_deadline
+        assert queue.renew(key(1), worker="w1")
+        assert entry.lease_deadline >= before
+        assert not queue.renew(key(1), worker="imposter")
+        assert not queue.renew(key(9), worker="w1")
+
+    def test_late_completion_from_expired_worker_is_accepted(self, tmp_path):
+        queue = JobQueue(str(tmp_path), lease_seconds=0.01)
+        queue.submit(key(1), payload(1))
+        entry = queue.claim("w1")
+        queue.expire(now=entry.lease_deadline + 1)
+        # The zombie reports back after losing its lease: the result is
+        # content-addressed, so taking it is both safe and efficient.
+        assert queue.complete(key(1), worker="w1", elapsed=0.5)
+        assert entry.state == "done"
+        assert queue.claim("w2") is None
+
+    def test_complete_is_idempotent(self, tmp_path):
+        queue = JobQueue(str(tmp_path))
+        queue.submit(key(1), payload(1))
+        queue.claim("w1")
+        assert queue.complete(key(1), worker="w1")
+        assert not queue.complete(key(1), worker="w2")
+
+    def test_fail_records_reason(self, tmp_path):
+        queue = JobQueue(str(tmp_path))
+        queue.submit(key(1), payload(1))
+        queue.claim("w1")
+        assert queue.fail(key(1), reason="KeyError: boom", worker="w1")
+        assert queue.get(key(1)).state == "failed"
+        assert queue.get(key(1)).reason == "KeyError: boom"
+
+
+class TestDurability:
+    def test_restart_resumes_pending_and_requeues_running(self, tmp_path):
+        queue = JobQueue(str(tmp_path))
+        queue.submit(key(1), payload(1))
+        queue.submit(key(2), payload(2))
+        queue.submit(key(3), payload(3))
+        queue.claim("w1")            # key(1) running
+        queue.complete(key(1), worker="w1", elapsed=0.1)
+        queue.claim("w1")            # key(2) running when we "die"
+
+        revived = JobQueue(str(tmp_path))
+        assert revived.get(key(1)).state == "done"
+        entry2 = revived.get(key(2))
+        assert entry2.state == "pending"      # re-queued on restart
+        assert entry2.requeues == 1
+        assert revived.get(key(3)).state == "pending"
+        # The restart's requeue is itself journaled: a second restart
+        # does not double-count it.
+        again = JobQueue(str(tmp_path))
+        assert again.get(key(2)).requeues == 1
+
+    def test_replay_tolerates_torn_tail(self, tmp_path):
+        queue = JobQueue(str(tmp_path))
+        queue.submit(key(1), payload(1))
+        with open(queue.journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "cla')  # server died mid-append
+        revived = JobQueue(str(tmp_path))
+        assert revived.get(key(1)).state == "pending"
+
+    def test_journal_records_are_json_lines(self, tmp_path):
+        queue = JobQueue(str(tmp_path))
+        queue.submit(key(1), payload(1))
+        queue.claim("w1")
+        queue.complete(key(1), worker="w1", elapsed=0.3)
+        with open(queue.journal_path, encoding="utf-8") as handle:
+            events = [json.loads(line)["event"] for line in handle]
+        assert events == ["submit", "claim", "complete"]
+
+
+class TestSnapshot:
+    def test_snapshot_reports_depth_age_and_counts(self, tmp_path):
+        queue = JobQueue(str(tmp_path))
+        queue.submit(key(1), payload(1))
+        queue.submit(key(2), payload(2))
+        queue.claim("w1")
+        snap = queue.snapshot()
+        assert snap["depth"] == 2
+        assert snap["counts"]["running"] == 1
+        assert snap["counts"]["pending"] == 1
+        assert snap["oldest_pending_seconds"] >= 0.0
+        assert len(snap["entries"]) == 2
+        labels = {entry["label"] for entry in snap["entries"]}
+        assert labels == {"gzip × base"}
+
+    def test_snapshot_expires_lapsed_leases(self, tmp_path):
+        queue = JobQueue(str(tmp_path), lease_seconds=0.0)
+        queue.submit(key(1), payload(1))
+        queue.claim("w1")
+        snap = queue.snapshot()  # lease_seconds=0 → lapsed immediately
+        assert snap["counts"]["pending"] == 1
+        assert snap["counts"]["running"] == 0
