@@ -28,27 +28,53 @@ from repro.analysis.reporting import (
     AssignmentQuality,
     analyze_manifest,
 )
+from repro.analysis.history import (
+    HISTORY_SCHEMA_VERSION,
+    HistoryStore,
+    append_trajectory,
+    load_points,
+    load_trajectory,
+    metric_series,
+    sparkline,
+)
+from repro.analysis.bench import run_bench
+from repro.analysis.degradation import (
+    CheckReport,
+    bisect_commits,
+    check_history,
+)
 
 __all__ = [
     "AnalysisReport",
     "AssignmentQuality",
     "Attribution",
     "BASELINE_SCHEMA_VERSION",
+    "CheckReport",
     "DiffReport",
     "EnergyModel",
     "EnergyReport",
+    "HISTORY_SCHEMA_VERSION",
+    "HistoryStore",
     "MetricDelta",
     "UtilizationReport",
     "analyze_manifest",
+    "append_trajectory",
     "bar_chart",
+    "bisect_commits",
     "capture_baseline",
+    "check_history",
     "collect_utilization",
     "diff_sources",
     "estimate_energy",
     "load_baseline",
+    "load_points",
+    "load_trajectory",
     "metric_direction",
+    "metric_series",
     "metrics_from_result",
     "results_to_csv",
     "results_to_rows",
+    "run_bench",
+    "sparkline",
     "write_baseline",
 ]

@@ -133,12 +133,13 @@ def capture_baseline(
             },
         }
 
-    from repro.obs.manifest import git_sha
+    from repro.obs.manifest import git_dirty, git_sha
 
     return {
         "schema": BASELINE_SCHEMA_VERSION,
         "created": time.time(),
         "git_sha": git_sha(),
+        "git_dirty": git_dirty(),
         "machine": machine,
         "instructions": int(instructions),
         "warmup": int(warmup),

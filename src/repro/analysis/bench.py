@@ -1,0 +1,172 @@
+"""Wall-clock benchmark harness behind ``repro bench``.
+
+Measures how fast the *simulator itself* runs — kilocycles of
+simulated time per wall-clock second — over a pinned benchmark ×
+strategy matrix, and packages the measurement as one perf-history
+point (:mod:`repro.analysis.history`).
+
+Design constraints that shape the harness:
+
+* Cells are simulated **directly** via
+  :func:`~repro.core.simulator.simulate`, never through the
+  :class:`~repro.runtime.ExperimentEngine` — the engine's result cache
+  would happily satisfy a cell from disk in zero wall-clock, which is
+  exactly the thing this harness must not do.
+* Each repetition attaches a fresh
+  :class:`~repro.obs.profiler.PhaseProfiler` with ``sample_cycles=0``
+  (totals only): the per-sample bookkeeping of flame-chart mode would
+  tax the very loop being timed.
+* The matrix, budgets, and seed are pinned so every point in the
+  history measures the same work.  Two budget profiles exist: ``full``
+  (the committed trajectory, ~15 s) and ``quick`` (CI smoke, ~3 s).
+  Points record their profile and are only ever gated against points
+  of the same profile.
+* Simulated metrics ride along for free: the measured runs are
+  ordinary deterministic simulations, so the same
+  :func:`~repro.analysis.baseline.metrics_from_result` gated set is
+  recorded with baseline-style noise floors.  Wall metrics instead get
+  the repetition min-to-median spread, floored at a deliberately
+  generous relative band (host jitter dwarfs workload sensitivity).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Dict, Optional, Sequence, TextIO
+
+from repro.analysis.baseline import (
+    entry_key,
+    metrics_from_result,
+    noise_band,
+)
+from repro.analysis.history import (
+    WALL_RELATIVE_BAND_FLOOR,
+    make_point,
+)
+from repro.assign.base import StrategySpec
+from repro.core.simulator import simulate
+from repro.obs.manifest import new_run_id
+from repro.obs.profiler import PhaseProfiler
+
+#: The pinned matrix: the paper's baseline and its headline mechanism
+#: on one integer and one layout-sensitive workload.
+BENCH_BENCHMARKS = ("gzip", "twolf")
+BENCH_STRATEGIES: Dict[str, StrategySpec] = {
+    "base": StrategySpec(kind="base"),
+    "fdrt": StrategySpec(kind="fdrt"),
+}
+
+#: Budget profiles: (instructions, warmup, repetitions).
+BENCH_PROFILES: Dict[str, Dict[str, int]] = {
+    "full": {"instructions": 8_000, "warmup": 4_000, "reps": 3},
+    "quick": {"instructions": 2_500, "warmup": 1_200, "reps": 2},
+}
+
+
+def bench_config(profile: str = "full",
+                 reps: Optional[int] = None) -> dict:
+    """The pinned run configuration for one budget profile."""
+    try:
+        budget = dict(BENCH_PROFILES[profile])
+    except KeyError:
+        raise ValueError(
+            f"unknown bench profile {profile!r} "
+            f"(choices: {', '.join(sorted(BENCH_PROFILES))})"
+        ) from None
+    if reps is not None:
+        if reps < 1:
+            raise ValueError(f"reps must be >= 1, got {reps}")
+        budget["reps"] = int(reps)
+    return {
+        "benchmarks": list(BENCH_BENCHMARKS),
+        "strategies": sorted(BENCH_STRATEGIES),
+        **budget,
+    }
+
+
+def _measure_cell(benchmark: str, spec: StrategySpec,
+                  instructions: int, warmup: int, reps: int) -> dict:
+    """One cell: ``reps`` profiled runs → ``{metric: {value, band}}``.
+
+    Simulated metrics are identical across repetitions (same seed,
+    deterministic simulator), so their value comes from the first run
+    with baseline noise floors.  Wall metrics take the median across
+    repetitions with the observed spread as the band.
+    """
+    wall_samples: Dict[str, list] = {}
+    result = None
+    for _ in range(reps):
+        profiler = PhaseProfiler(sample_cycles=0)
+        result = simulate(
+            benchmark, spec,
+            instructions=instructions, warmup=warmup,
+            profiler=profiler,
+        )
+        for name, value in profiler.wall_metrics().items():
+            wall_samples.setdefault(name, []).append(value)
+
+    metrics = {
+        name: {"value": value, "band": noise_band(value, ())}
+        for name, value in metrics_from_result(result).items()
+    }
+    for name, samples in wall_samples.items():
+        value = statistics.median(samples)
+        spread = max(abs(sample - value) for sample in samples)
+        band = max(spread, WALL_RELATIVE_BAND_FLOOR * abs(value))
+        metrics[name] = {"value": value, "band": band}
+    return metrics
+
+
+def run_bench(
+    profile: str = "full",
+    reps: Optional[int] = None,
+    run_id: Optional[str] = None,
+    stream: Optional[TextIO] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    instructions: Optional[int] = None,
+    warmup: Optional[int] = None,
+) -> dict:
+    """Measure the pinned matrix; returns one validated history point.
+
+    ``benchmarks``/``instructions``/``warmup`` overrides exist for
+    tests that need a tiny budget — production callers (the CLI, CI)
+    pin everything through ``profile``.
+    """
+    config = bench_config(profile, reps)
+    if benchmarks is not None:
+        config["benchmarks"] = list(benchmarks)
+    if instructions is not None:
+        config["instructions"] = int(instructions)
+    if warmup is not None:
+        config["warmup"] = int(warmup)
+
+    run_id = run_id or new_run_id()
+    entries: Dict[str, Dict[str, dict]] = {}
+    started = time.monotonic()
+    for benchmark in config["benchmarks"]:
+        for name in config["strategies"]:
+            spec = BENCH_STRATEGIES[name]
+            if stream is not None:
+                print(f"bench {benchmark}/{spec.label}: "
+                      f"{config['reps']} rep(s) x "
+                      f"{config['instructions']} instructions ...",
+                      file=stream, flush=True)
+            cell = _measure_cell(
+                benchmark, spec,
+                instructions=config["instructions"],
+                warmup=config["warmup"],
+                reps=config["reps"],
+            )
+            entries[entry_key(benchmark, spec.label)] = cell
+            if stream is not None:
+                wall = cell.get("wall.kcyc_per_s", {})
+                print(f"  {wall.get('value', 0.0):.1f} kcyc/s "
+                      f"(± {wall.get('band', 0.0):.1f}), "
+                      f"ipc {cell.get('ipc', {}).get('value', 0.0):.3f}",
+                      file=stream, flush=True)
+    if stream is not None:
+        print(f"bench done in {time.monotonic() - started:.1f}s",
+              file=stream, flush=True)
+    return make_point(entries, run_id=run_id, profile=profile,
+                      config=config)

@@ -1,0 +1,391 @@
+"""Statistical degradation detection over the perf history.
+
+``repro check`` gates the **newest** history point against the
+trailing window of comparable points:
+
+* references share the candidate's budget *profile* (``quick`` points
+  never judge ``full`` points — the budgets produce different IPC and
+  throughput);
+* wall-clock metrics additionally require the candidate's host
+  *fingerprint* — kcyc/s on another machine says nothing about this
+  one, so cross-host wall comparisons are reported as ``skipped``
+  rather than silently gated;
+* reference points whose value sits far outside the window consensus
+  (beyond ``OUTLIER_BANDS`` combined bands of the window median) are
+  dropped before gating, so one loaded-CI-host measurement cannot
+  poison the window.
+
+A metric regresses when the candidate leaves ``reference ± band`` in
+its unfavourable direction, where the band is the widest of: the
+candidate's own noise band, the reference points' recorded bands, and
+the reference window's observed spread.  Exit codes mirror ``repro
+diff``: 0 clean, 1 regression, 2 not enough history to check.
+
+The second half of the module is the machinery behind ``repro
+bisect``: a deterministic binary search over ``git rev-list`` output,
+measuring each probed commit in a detached worktree, to find the first
+commit where a metric crossed a threshold.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import subprocess
+import tempfile
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.history import (
+    is_wall_metric,
+    metric_direction,
+    point_label,
+)
+
+#: Default trailing-window size (comparable points consulted).
+DEFAULT_WINDOW = 5
+
+#: Reference points beyond this many combined bands of the window
+#: median are discarded as outliers before gating.
+OUTLIER_BANDS = 3.0
+
+_STATUS_ORDER = ("regression", "improved", "ok", "info", "skipped")
+
+
+class CheckEntry:
+    """One (entry, metric) verdict of a degradation check."""
+
+    def __init__(self, entry: str, metric: str, status: str,
+                 candidate: float, reference: Optional[float] = None,
+                 band: float = 0.0, references: int = 0,
+                 note: str = "") -> None:
+        self.entry = entry
+        self.metric = metric
+        self.status = status  # regression | improved | ok | info | skipped
+        self.candidate = candidate
+        self.reference = reference
+        self.band = band
+        self.references = references
+        self.note = note
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.reference is None:
+            return None
+        return self.candidate - self.reference
+
+    def to_dict(self) -> dict:
+        return {
+            "entry": self.entry,
+            "metric": self.metric,
+            "status": self.status,
+            "candidate": self.candidate,
+            "reference": self.reference,
+            "delta": self.delta,
+            "band": self.band,
+            "references": self.references,
+            "note": self.note,
+        }
+
+
+class CheckReport:
+    """The full verdict of gating one point against its history."""
+
+    def __init__(self, candidate: Optional[dict],
+                 entries: List[CheckEntry],
+                 window: int, notes: Optional[List[str]] = None) -> None:
+        self.candidate = candidate
+        self.entries = entries
+        self.window = window
+        self.notes = list(notes or [])
+
+    @property
+    def regressions(self) -> List[CheckEntry]:
+        return [e for e in self.entries if e.status == "regression"]
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 regression, 2 not enough history."""
+        if self.candidate is None:
+            return 2
+        if self.regressions:
+            return 1
+        if not any(e.status in ("ok", "improved", "regression")
+                   for e in self.entries):
+            return 2
+        return 0
+
+    def to_dict(self) -> dict:
+        return {
+            "candidate": (point_label(self.candidate)
+                          if self.candidate else None),
+            "candidate_sha": (self.candidate or {}).get("git_sha"),
+            "candidate_run_id": (self.candidate or {}).get("run_id"),
+            "profile": (self.candidate or {}).get("profile"),
+            "window": self.window,
+            "exit_code": self.exit_code,
+            "regressions": len(self.regressions),
+            "notes": self.notes,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    def _sorted(self) -> List[CheckEntry]:
+        order = {status: i for i, status in enumerate(_STATUS_ORDER)}
+        return sorted(
+            self.entries,
+            key=lambda e: (order.get(e.status, 99), e.entry, e.metric))
+
+    def render(self) -> str:
+        if self.candidate is None:
+            return "check: no history points to check"
+        lines = [
+            f"check: {point_label(self.candidate)} "
+            f"({self.candidate.get('profile', '?')}) vs last "
+            f"{self.window} comparable point(s)"
+        ]
+        lines.extend(f"note: {note}" for note in self.notes)
+        lines.append(
+            f"  {'entry':<24} {'metric':<28} {'candidate':>11} "
+            f"{'reference':>11} {'band':>9}  status")
+        for entry in self._sorted():
+            if entry.status == "skipped" and not entry.note:
+                continue
+            reference = (f"{entry.reference:>11.4f}"
+                         if entry.reference is not None else f"{'-':>11}")
+            tag = entry.status.upper() if entry.status in (
+                "regression", "improved") else entry.status
+            note = f"  ({entry.note})" if entry.note else ""
+            lines.append(
+                f"  {entry.entry:<24} {entry.metric:<28} "
+                f"{entry.candidate:>11.4f} {reference} "
+                f"{entry.band:>9.4f}  {tag}{note}")
+        verdict = ("REGRESSION" if self.regressions else
+                   "ok" if self.exit_code == 0 else "insufficient history")
+        lines.append(
+            f"verdict: {verdict} "
+            f"({len(self.regressions)} regressing metric(s))")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        if self.candidate is None:
+            return "## Degradation check\n\nNo history points to check.\n"
+        lines = [
+            "## Degradation check",
+            "",
+            f"Candidate `{point_label(self.candidate)}` "
+            f"(profile `{self.candidate.get('profile', '?')}`) vs the "
+            f"last {self.window} comparable point(s): "
+            + ("**REGRESSION**" if self.regressions
+               else "ok" if self.exit_code == 0 else "insufficient history"),
+            "",
+        ]
+        lines.extend(f"> {note}" for note in self.notes)
+        rows = [e for e in self._sorted()
+                if e.status in ("regression", "improved")]
+        if rows:
+            lines += [
+                "",
+                "| entry | metric | candidate | reference | band | status |",
+                "| --- | --- | ---: | ---: | ---: | --- |",
+            ]
+            for e in rows:
+                reference = (f"{e.reference:.4f}"
+                             if e.reference is not None else "-")
+                lines.append(
+                    f"| {e.entry} | `{e.metric}` | {e.candidate:.4f} "
+                    f"| {reference} | {e.band:.4f} | {e.status} |")
+        return "\n".join(lines) + "\n"
+
+
+def _reference_values(
+    references: Sequence[dict], entry: str, metric: str,
+) -> List[Tuple[float, float]]:
+    """``(value, band)`` of ``metric`` in each reference that has it."""
+    pairs = []
+    for point in references:
+        cell = point.get("entries", {}).get(entry, {}).get(metric)
+        if cell is not None:
+            pairs.append((float(cell["value"]), float(cell["band"])))
+    return pairs
+
+
+def _drop_outliers(pairs: List[Tuple[float, float]],
+                   ) -> List[Tuple[float, float]]:
+    """Discard references far outside the window consensus."""
+    if len(pairs) < 3:
+        return pairs
+    center = statistics.median(value for value, _ in pairs)
+    scale = max(max(band for _, band in pairs), 1e-12)
+    kept = [(value, band) for value, band in pairs
+            if abs(value - center) <= OUTLIER_BANDS * scale]
+    return kept or pairs
+
+
+def check_history(points: Sequence[dict],
+                  window: int = DEFAULT_WINDOW) -> CheckReport:
+    """Gate the newest point against its trailing comparable window."""
+    points = sorted(points, key=lambda p: p.get("ts", 0.0))
+    if not points:
+        return CheckReport(None, [], window)
+    candidate = points[-1]
+    profile = candidate.get("profile")
+    fingerprint = candidate.get("fingerprint")
+    comparable = [p for p in points[:-1] if p.get("profile") == profile]
+    references = comparable[-window:] if window else comparable
+
+    notes: List[str] = []
+    if not references:
+        notes.append(
+            f"no earlier {profile!r}-profile points — nothing to gate "
+            "against yet")
+    same_host = [p for p in references
+                 if p.get("fingerprint") == fingerprint]
+    cross_host = len(references) - len(same_host)
+    if references and not same_host:
+        notes.append(
+            "no reference shares this host fingerprint — wall-clock "
+            "metrics skipped")
+    elif cross_host:
+        notes.append(
+            f"{cross_host} reference point(s) from other hosts ignored "
+            "for wall-clock metrics")
+
+    entries: List[CheckEntry] = []
+    for entry_name, metrics in sorted(candidate.get("entries", {}).items()):
+        for metric, cell in sorted(metrics.items()):
+            value = float(cell["value"])
+            own_band = float(cell["band"])
+            direction = metric_direction(metric)
+            pool = same_host if is_wall_metric(metric) else references
+            pairs = _drop_outliers(
+                _reference_values(pool, entry_name, metric))
+            if not pairs:
+                entries.append(CheckEntry(
+                    entry_name, metric, "skipped", value,
+                    note=("no same-host reference"
+                          if is_wall_metric(metric) and references
+                          else "")))
+                continue
+            reference = statistics.median(v for v, _ in pairs)
+            spread = max(abs(v - reference) for v, _ in pairs)
+            band = max(own_band, max(b for _, b in pairs), spread)
+            if direction == "info":
+                entries.append(CheckEntry(
+                    entry_name, metric, "info", value, reference,
+                    band, len(pairs)))
+                continue
+            delta = value - reference
+            worse = -delta if direction == "higher" else delta
+            if worse > band:
+                status = "regression"
+            elif -worse > band:
+                status = "improved"
+            else:
+                status = "ok"
+            entries.append(CheckEntry(
+                entry_name, metric, status, value, reference, band,
+                len(pairs)))
+    return CheckReport(candidate, entries, window, notes)
+
+
+# ----------------------------------------------------------------------
+# Bisection: find the first commit that crossed a threshold.
+# ----------------------------------------------------------------------
+def git_commits(repo: str, good: str, bad: str) -> List[str]:
+    """First-parent commits ``good..bad``, oldest first (``bad`` last)."""
+    output = subprocess.run(
+        ["git", "rev-list", "--reverse", "--first-parent",
+         f"{good}..{bad}"],
+        cwd=repo, capture_output=True, text=True, check=True,
+    ).stdout
+    return [line.strip() for line in output.splitlines() if line.strip()]
+
+
+def classify_threshold(threshold: float,
+                       direction: str = "higher",
+                       ) -> Callable[[float], bool]:
+    """A ``value -> is_bad`` classifier around a fixed threshold.
+
+    ``direction`` names which way is *better* (as in
+    :func:`~repro.analysis.history.metric_direction`); a value on the
+    unfavourable side of ``threshold`` is bad.
+    """
+    if direction not in ("higher", "lower"):
+        raise ValueError(
+            f"direction must be 'higher' or 'lower', got {direction!r}")
+    if direction == "higher":
+        return lambda value: value < threshold
+    return lambda value: value > threshold
+
+
+def bisect_commits(
+    commits: Sequence[str],
+    measure: Callable[[str], float],
+    classify: Callable[[float], bool],
+    log: Optional[Callable[[str], None]] = None,
+) -> Optional[dict]:
+    """Binary-search ``commits`` (oldest first) for the first bad one.
+
+    Assumes the classic bisect invariant: everything before the first
+    bad commit is good, everything after is bad.  ``measure`` is called
+    O(log n) times; returns ``{"first_bad", "index", "value",
+    "measurements": {sha: value}}`` or ``None`` when every probed
+    commit is good.
+    """
+    measurements: Dict[str, float] = {}
+    lo, hi = 0, len(commits) - 1
+    first_bad: Optional[int] = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        sha = commits[mid]
+        value = measure(sha)
+        measurements[sha] = value
+        bad = classify(value)
+        if log is not None:
+            log(f"bisect: {sha[:10]} -> {value:.4f} "
+                f"({'bad' if bad else 'good'}) "
+                f"[{len(measurements)} probe(s)]")
+        if bad:
+            first_bad = mid
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    if first_bad is None:
+        return None
+    return {
+        "first_bad": commits[first_bad],
+        "index": first_bad,
+        "value": measurements[commits[first_bad]],
+        "measurements": measurements,
+    }
+
+
+def measure_command(repo: str, command: Sequence[str]) -> Callable[[str], float]:
+    """A ``measure`` callback running ``command`` per probed commit.
+
+    Each probe checks the commit out into a throwaway detached ``git
+    worktree`` (the live checkout is never touched), runs ``command``
+    with that worktree as both CWD and ``REPRO_BISECT_TREE``, and
+    parses the **last line of stdout** as the metric value.
+    """
+    def measure(sha: str) -> float:
+        with tempfile.TemporaryDirectory(prefix="repro-bisect-") as scratch:
+            tree = os.path.join(scratch, "tree")
+            subprocess.run(
+                ["git", "worktree", "add", "--detach", tree, sha],
+                cwd=repo, capture_output=True, text=True, check=True)
+            try:
+                env = dict(os.environ, REPRO_BISECT_TREE=tree)
+                proc = subprocess.run(
+                    list(command), cwd=tree, env=env,
+                    capture_output=True, text=True, check=True)
+                lines = [line for line in proc.stdout.splitlines()
+                         if line.strip()]
+                if not lines:
+                    raise RuntimeError(
+                        f"bisect command produced no output at {sha[:10]}")
+                return float(lines[-1])
+            finally:
+                subprocess.run(
+                    ["git", "worktree", "remove", "--force", tree],
+                    cwd=repo, capture_output=True, text=True, check=False)
+    return measure

@@ -100,6 +100,9 @@ class DiffReport:
     missing: List[str]
     #: Entry keys only the candidate has (reported, never gating).
     extra: List[str]
+    #: Provenance caveats (e.g. the sources came from different git
+    #: SHAs) — printed with the report, never part of the exit code.
+    notes: List[str] = dataclasses.field(default_factory=list)
 
     @property
     def regressions(self) -> List[MetricDelta]:
@@ -110,9 +113,40 @@ class DiffReport:
         """``0`` clean, ``1`` on regressions or missing entries."""
         return 1 if self.regressions or self.missing else 0
 
+    def to_dict(self) -> dict:
+        """Machine-readable report (``repro diff --json``)."""
+        return {
+            "before": self.before_label,
+            "after": self.after_label,
+            "exit_code": self.exit_code,
+            "notes": list(self.notes),
+            "missing": list(self.missing),
+            "extra": list(self.extra),
+            "entries": [
+                {
+                    "key": entry.key,
+                    "regressions": len(entry.regressions),
+                    "metrics": [
+                        {
+                            "name": delta.name,
+                            "before": delta.before,
+                            "after": delta.after,
+                            "delta": delta.delta,
+                            "band": delta.band,
+                            "direction": delta.direction,
+                            "flag": delta.flag,
+                        }
+                        for delta in entry.deltas
+                    ],
+                }
+                for entry in self.entries
+            ],
+        }
+
     def render(self) -> str:
         """Terminal diff summary, gated metrics first per entry."""
         lines = [f"diff: {self.after_label} vs {self.before_label}"]
+        lines.extend(f"note: {note}" for note in self.notes)
         for entry in self.entries:
             flagged = entry.regressions + entry.improvements
             marker = (f"{len(entry.regressions)} regression(s)"
@@ -182,8 +216,16 @@ def entries_from_manifest(manifest: dict) -> Dict[str, Dict[str, float]]:
     return entries
 
 
+def _provenance(document: dict) -> dict:
+    """``{git_sha, git_dirty}`` of a manifest or baseline document."""
+    return {
+        "git_sha": document.get("git_sha"),
+        "git_dirty": document.get("git_dirty"),
+    }
+
+
 def _load_source(path: str):
-    """Resolve a diff operand to ``(label, metrics, bands)``.
+    """Resolve a diff operand to ``(label, metrics, bands, provenance)``.
 
     Accepts a telemetry directory (containing ``manifest.json``), a
     manifest JSON file, or a baseline JSON document.  ``bands`` is
@@ -206,9 +248,10 @@ def _load_source(path: str):
             bands[key] = {
                 name: cell["band"] for name, cell in entry["metrics"].items()
             }
-        return path, metrics, bands
+        return path, metrics, bands, _provenance(document)
     if "jobs" in document:  # run manifest
-        return path, entries_from_manifest(document), {}
+        return path, entries_from_manifest(document), {}, _provenance(
+            document)
     raise ValueError(
         f"{path}: neither a run manifest (jobs) nor a baseline (entries)"
     )
@@ -225,8 +268,23 @@ def diff_sources(before: str, after: str) -> DiffReport:
     Noise bands come from the *reference* (``before``) when it is a
     baseline document; otherwise the default floors apply.
     """
-    before_label, before_metrics, before_bands = _load_source(before)
-    after_label, after_metrics, _ = _load_source(after)
+    before_label, before_metrics, before_bands, before_prov = _load_source(
+        before)
+    after_label, after_metrics, _, after_prov = _load_source(after)
+
+    notes: List[str] = []
+    before_sha = before_prov.get("git_sha")
+    after_sha = after_prov.get("git_sha")
+    if before_sha and after_sha and before_sha != after_sha:
+        notes.append(
+            f"sources come from different commits "
+            f"({before_sha[:10]} vs {after_sha[:10]}) — deltas mix code "
+            "changes with measurement noise")
+    for label, prov in ((before_label, before_prov),
+                        (after_label, after_prov)):
+        if prov.get("git_dirty"):
+            notes.append(
+                f"{label} was captured from a dirty working tree")
 
     entries: List[EntryDiff] = []
     missing: List[str] = []
@@ -257,4 +315,5 @@ def diff_sources(before: str, after: str) -> DiffReport:
         entries=entries,
         missing=missing,
         extra=extra,
+        notes=notes,
     )

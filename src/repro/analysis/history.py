@@ -1,0 +1,382 @@
+"""Per-commit performance history: the store behind ``repro history``.
+
+A history *point* is one measurement of the pinned bench matrix (see
+:mod:`repro.analysis.bench`) tied to the exact code and host that
+produced it: git SHA + dirty-tree flag + host fingerprint + timestamp
++ run id, mapping ``"bench|Strategy"`` entry keys to ``{metric:
+{value, band}}`` cells.  Metrics come in two families:
+
+* simulated metrics (``ipc``, ``tc_hit_rate``, ``stall.*``, ... — the
+  same gated set ``repro baseline`` snapshots) — deterministic for a
+  fixed seed, comparable across hosts;
+* wall-clock metrics (``wall.kcyc_per_s``, ``wall.phase_share.*``)
+  from the :class:`~repro.obs.profiler.PhaseProfiler` — only
+  comparable between points that share a host fingerprint, which the
+  degradation check (:mod:`repro.analysis.degradation`) enforces.
+
+Two storage shapes share the same point schema:
+
+``BENCH_7.json``
+    The committed append-only *trajectory*: ``{"schema": ...,
+    "points": [...]}``, newest last.  ``repro bench`` appends to it,
+    ``repro check`` gates the newest point against the trailing
+    window, CI commits the artifact back so the history grows with
+    the repo.
+``perf-history/``
+    A directory store with one JSON file per point (named by
+    timestamp + short SHA + run id), useful when many hosts measure
+    concurrently and a single JSON file would be a merge conflict.
+
+Direction handling extends the baseline table: ``wall.kcyc_per_s`` is
+gated (higher is better — it *is* the simulator's throughput);
+``wall.phase_share.*`` is informational.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.baseline import (
+    metric_direction as _baseline_direction,
+)
+from repro.obs.manifest import git_sha, host_fingerprint, host_info
+
+#: History point / trajectory schema; bump on incompatible changes.
+HISTORY_SCHEMA_VERSION = 1
+
+#: Default committed trajectory file (this repo's PR-7 artifact).
+DEFAULT_TRAJECTORY = "BENCH_7.json"
+
+#: Default directory store.
+DEFAULT_STORE_DIR = "perf-history"
+
+#: Wall-clock metrics and their gate directions.  Anything else under
+#: ``wall.`` is informational.
+WALL_METRIC_DIRECTIONS: Dict[str, str] = {
+    "wall.kcyc_per_s": "higher",
+}
+
+#: Wall-clock noise floor: host scheduling jitter dwarfs the simulated
+#: metrics' 1% floor, so wall metrics never gate tighter than this
+#: relative band.
+WALL_RELATIVE_BAND_FLOOR = 0.15
+
+#: The sparkline ramp used by ``repro history``.
+_SPARK_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def metric_direction(name: str) -> str:
+    """``'higher'``/``'lower'``/``'info'``, wall-metric aware."""
+    if name.startswith("wall."):
+        return WALL_METRIC_DIRECTIONS.get(name, "info")
+    return _baseline_direction(name)
+
+
+def is_wall_metric(name: str) -> bool:
+    """Wall-clock metrics only compare within one host fingerprint."""
+    return name.startswith("wall.")
+
+
+# ----------------------------------------------------------------------
+# Points.
+# ----------------------------------------------------------------------
+def make_point(
+    entries: Dict[str, Dict[str, dict]],
+    run_id: str,
+    profile: str,
+    config: Optional[dict] = None,
+    ts: Optional[float] = None,
+    sha: Optional[str] = None,
+    dirty: Optional[bool] = None,
+    fingerprint: Optional[str] = None,
+) -> dict:
+    """Assemble one history point around measured ``entries``.
+
+    ``entries`` maps entry keys to ``{metric: {"value": v, "band": b}}``
+    cells; identity fields default to the current repo/host.
+    """
+    from repro.obs.manifest import git_dirty
+
+    return {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "run_id": run_id,
+        "ts": time.time() if ts is None else float(ts),
+        "git_sha": git_sha() if sha is None else sha,
+        "git_dirty": git_dirty() if dirty is None else dirty,
+        "fingerprint": (host_fingerprint() if fingerprint is None
+                        else fingerprint),
+        "host": host_info(),
+        "profile": profile,
+        "config": dict(config or {}),
+        "entries": entries,
+    }
+
+
+def validate_point(point: dict) -> dict:
+    """Schema-check one point; returns it (raises ``ValueError``)."""
+    if not isinstance(point, dict):
+        raise ValueError("history point must be a JSON object")
+    if point.get("schema") != HISTORY_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported history point schema {point.get('schema')!r} "
+            f"(expected {HISTORY_SCHEMA_VERSION})"
+        )
+    entries = point.get("entries")
+    if not isinstance(entries, dict) or not entries:
+        raise ValueError("history point has no entries")
+    for key, metrics in entries.items():
+        if not isinstance(metrics, dict):
+            raise ValueError(f"entry {key!r} is not a metric map")
+        for name, cell in metrics.items():
+            if (not isinstance(cell, dict) or "value" not in cell
+                    or "band" not in cell):
+                raise ValueError(
+                    f"entry {key!r} metric {name!r} lacks value/band")
+    return point
+
+
+def point_label(point: dict) -> str:
+    """Short human identity: ``sha7[*] profile`` (``*`` = dirty tree)."""
+    sha = point.get("git_sha") or "unknown"
+    short = sha[:7] if isinstance(sha, str) else "unknown"
+    dirty = "*" if point.get("git_dirty") else ""
+    return f"{short}{dirty}"
+
+
+# ----------------------------------------------------------------------
+# The committed trajectory file.
+# ----------------------------------------------------------------------
+def _write_atomic(path: str, document: dict) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-",
+                                    suffix=".json")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def load_trajectory(path: str) -> dict:
+    """Read a ``BENCH_*.json`` trajectory, validating its schema."""
+    with open(os.fspath(path), encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: trajectory must be a JSON object")
+    if document.get("schema") != HISTORY_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported trajectory schema "
+            f"{document.get('schema')!r} "
+            f"(expected {HISTORY_SCHEMA_VERSION})"
+        )
+    points = document.get("points")
+    if not isinstance(points, list):
+        raise ValueError(f"{path}: trajectory has no points list")
+    return document
+
+
+def append_trajectory(path: str, point: dict) -> dict:
+    """Append ``point`` to the trajectory at ``path`` (created if
+    missing); returns the updated document.  Append-only by
+    construction: existing points are never rewritten, so a committed
+    trajectory only ever grows."""
+    validate_point(point)
+    path = os.fspath(path)
+    if os.path.exists(path):
+        document = load_trajectory(path)
+    else:
+        document = {"schema": HISTORY_SCHEMA_VERSION, "points": []}
+    document["points"].append(point)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    _write_atomic(path, document)
+    return document
+
+
+# ----------------------------------------------------------------------
+# The directory store.
+# ----------------------------------------------------------------------
+class HistoryStore:
+    """One JSON file per point under a ``perf-history/`` directory.
+
+    File names sort chronologically (zero-padded integer timestamp
+    first), so ``points()`` is the trajectory in measurement order
+    even before the timestamps inside are consulted.
+    """
+
+    def __init__(self, root: str = DEFAULT_STORE_DIR) -> None:
+        self.root = os.fspath(root)
+
+    def _point_path(self, point: dict) -> str:
+        ts = int(point.get("ts", 0))
+        sha = point.get("git_sha") or "nogit"
+        short = sha[:7] if isinstance(sha, str) else "nogit"
+        dirty = "-dirty" if point.get("git_dirty") else ""
+        run_id = str(point.get("run_id") or "norun")[:8]
+        return os.path.join(
+            self.root, f"{ts:012d}-{short}{dirty}-{run_id}.json")
+
+    def add(self, point: dict) -> str:
+        """Write one validated point; returns its file path."""
+        validate_point(point)
+        os.makedirs(self.root, exist_ok=True)
+        path = self._point_path(point)
+        _write_atomic(path, point)
+        return path
+
+    def points(self) -> List[dict]:
+        """All parseable points, oldest first (torn files skipped)."""
+        try:
+            names = sorted(os.listdir(self.root))
+        except OSError:
+            return []
+        points = []
+        for name in names:
+            if not name.endswith(".json") or name.startswith("."):
+                continue
+            try:
+                with open(os.path.join(self.root, name),
+                          encoding="utf-8") as handle:
+                    point = validate_point(json.load(handle))
+            except (OSError, ValueError):
+                continue
+            points.append(point)
+        points.sort(key=lambda p: p.get("ts", 0.0))
+        return points
+
+    def latest(self) -> Optional[dict]:
+        points = self.points()
+        return points[-1] if points else None
+
+
+def load_points(source: str) -> List[dict]:
+    """Points from a trajectory file or a directory store, oldest first."""
+    source = os.fspath(source)
+    if os.path.isdir(source):
+        return HistoryStore(source).points()
+    document = load_trajectory(source)
+    points = [validate_point(point) for point in document["points"]]
+    points.sort(key=lambda p: p.get("ts", 0.0))
+    return points
+
+
+# ----------------------------------------------------------------------
+# Series + rendering.
+# ----------------------------------------------------------------------
+def entry_metric(point: dict, metric: str,
+                 entry: Optional[str] = None) -> Optional[float]:
+    """``metric``'s value in ``point``: one entry's, or the mean.
+
+    With ``entry=None`` the value is the mean over every entry that
+    carries the metric — the "how is the matrix doing overall" view
+    ``repro history`` defaults to.
+    """
+    entries = point.get("entries", {})
+    if entry is not None:
+        cell = entries.get(entry, {}).get(metric)
+        return float(cell["value"]) if cell else None
+    values = [float(cell["value"])
+              for metrics in entries.values()
+              for name, cell in metrics.items() if name == metric]
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def metric_series(points: Sequence[dict], metric: str,
+                  entry: Optional[str] = None,
+                  ) -> List[Tuple[dict, float]]:
+    """``(point, value)`` pairs for every point carrying ``metric``."""
+    series = []
+    for point in points:
+        value = entry_metric(point, metric, entry)
+        if value is not None:
+            series.append((point, value))
+    return series
+
+
+def sparkline(values: Iterable[float]) -> str:
+    """Unicode sparkline of ``values`` (empty string for no values)."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high <= low:
+        return _SPARK_TICKS[3] * len(values)
+    span = high - low
+    ticks = []
+    for value in values:
+        index = int((value - low) / span * (len(_SPARK_TICKS) - 1))
+        ticks.append(_SPARK_TICKS[index])
+    return "".join(ticks)
+
+
+def render_history(points: Sequence[dict], metric: str,
+                   entry: Optional[str] = None,
+                   last: Optional[int] = None) -> str:
+    """Terminal table + sparkline of ``metric`` across ``points``."""
+    series = metric_series(points, metric, entry)
+    if last:
+        series = series[-last:]
+    scope = entry if entry is not None else "mean over entries"
+    if not series:
+        return (f"no history points carry metric {metric!r} "
+                f"({scope})")
+    lines = [
+        f"history: {metric} ({scope}) — {len(series)} point(s)",
+        f"  {sparkline(value for _, value in series)}  "
+        f"[{min(v for _, v in series):.4g} .. "
+        f"{max(v for _, v in series):.4g}]",
+        "",
+        f"  {'commit':<10} {'when':<17} {'profile':<8} "
+        f"{'host':<13} {metric:>14}",
+    ]
+    for point, value in series:
+        when = time.strftime("%Y-%m-%d %H:%M",
+                             time.localtime(point.get("ts", 0.0)))
+        lines.append(
+            f"  {point_label(point):<10} {when:<17} "
+            f"{point.get('profile', '?'):<8} "
+            f"{str(point.get('fingerprint', '?'))[:12]:<13} "
+            f"{value:>14.4f}"
+        )
+    return "\n".join(lines)
+
+
+def history_markdown(points: Sequence[dict], metric: str,
+                     entry: Optional[str] = None) -> str:
+    """Markdown export of one metric's trajectory (the CI artifact)."""
+    series = metric_series(points, metric, entry)
+    scope = entry if entry is not None else "mean over entries"
+    lines = [
+        "# Performance history",
+        "",
+        f"`{metric}` ({scope}) — {len(series)} point(s): "
+        f"`{sparkline(value for _, value in series)}`",
+        "",
+        "| commit | dirty | when | profile | host | value |",
+        "| --- | --- | --- | --- | --- | ---: |",
+    ]
+    for point, value in series:
+        when = time.strftime("%Y-%m-%d %H:%M",
+                             time.gmtime(point.get("ts", 0.0)))
+        sha = point.get("git_sha") or "unknown"
+        lines.append(
+            f"| `{sha[:7] if isinstance(sha, str) else sha}` "
+            f"| {'yes' if point.get('git_dirty') else 'no'} "
+            f"| {when} | {point.get('profile', '?')} "
+            f"| `{str(point.get('fingerprint', '?'))[:12]}` "
+            f"| {value:.4f} |"
+        )
+    return "\n".join(lines)

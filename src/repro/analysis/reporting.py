@@ -113,6 +113,37 @@ class AnalysisReport:
             )
         return "\n".join(blocks)
 
+    def to_dict(self) -> dict:
+        """Machine-readable report (``repro analyze --json``)."""
+        return {
+            "engine": self.engine,
+            "attributions": [
+                {
+                    "benchmark": a.benchmark,
+                    "strategy": a.strategy,
+                    "ipc": a.ipc,
+                    "ipc_gap": a.ipc_gap,
+                    "loss_by_category": a.loss_by_category(),
+                    "loss_by_cluster": a.loss_by_cluster(),
+                }
+                for a in self.attributions
+            ],
+            "quality": [
+                {
+                    "benchmark": q.benchmark,
+                    "strategy": q.strategy,
+                    "pct_intra_cluster_forwarding":
+                        q.pct_intra_cluster_forwarding,
+                    "avoidable_inter_fraction": q.avoidable_inter_fraction,
+                    "avg_forward_distance": q.avg_forward_distance,
+                    "chain_migration_rate": q.chain_migration_rate,
+                    "fill_migration_rate": q.fill_migration_rate,
+                    "option_mix": q.option_mix(),
+                }
+                for q in self.quality
+            ],
+        }
+
     def to_markdown(self) -> str:
         """Markdown report (the CI artifact)."""
         lines = ["# Performance analysis", ""]

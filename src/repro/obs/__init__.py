@@ -59,9 +59,13 @@ from repro.obs.heartbeat import (
 from repro.obs.manifest import (
     MANIFEST_SCHEMA_VERSION,
     TelemetryWriter,
+    git_dirty,
     git_sha,
+    history_key,
+    host_fingerprint,
     host_info,
     load_manifest,
+    new_run_id,
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -108,10 +112,14 @@ __all__ = [
     "PrometheusText",
     "TelemetryServer",
     "TelemetryWriter",
+    "git_dirty",
     "git_sha",
     "heartbeat_dir",
+    "history_key",
+    "host_fingerprint",
     "host_info",
     "load_manifest",
+    "new_run_id",
     "read_heartbeats",
     "registry_to_prometheus",
 ]

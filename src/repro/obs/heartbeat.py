@@ -72,6 +72,7 @@ class HeartbeatWriter:
         label: Optional[str] = None,
         attempt: int = 0,
         profiler=None,
+        run_id: Optional[str] = None,
         _clock=time.time,
     ) -> None:
         self.directory = os.fspath(directory)
@@ -79,6 +80,8 @@ class HeartbeatWriter:
         self.key = key
         self.label = label
         self.attempt = attempt
+        #: Correlation id of the engine run this worker beats for.
+        self.run_id = run_id
         #: Optional PhaseProfiler whose split rides along in each beat.
         self.profiler = profiler
         self.path = os.path.join(self.directory, f"hb-{index}.json")
@@ -127,6 +130,8 @@ class HeartbeatWriter:
             "ts": now,
             "elapsed": now - self._started,
         }
+        if self.run_id is not None:
+            record["run_id"] = self.run_id
         if self.profiler is not None:
             record["profile"] = dict(self.profiler.seconds)
         try:

@@ -39,6 +39,7 @@ this module imports nothing from :mod:`repro.runtime`.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import platform
@@ -46,6 +47,7 @@ import subprocess
 import sys
 import tempfile
 import time
+import uuid
 from typing import Dict, List, Optional
 
 #: Manifest document schema; bump on incompatible layout changes.
@@ -55,7 +57,11 @@ from typing import Dict, List, Optional
 #: failed / interrupted / error), job records gain ``reason`` and the
 #: ``resumed``/``failed`` statuses, and completed ``events.jsonl``
 #: lines embed the full result payload (the resume journal).
-MANIFEST_SCHEMA_VERSION = 3
+#: v4: the manifest and every ``events.jsonl`` line carry the run's
+#: ``run_id`` correlation id, and the manifest gains the performance
+#: ``history_key`` stamp (git sha, dirty flag, host fingerprint) the
+#: perf-history store joins on (see ``repro.analysis.history``).
+MANIFEST_SCHEMA_VERSION = 4
 
 #: Job-event statuses that finish a job with a correct result.
 _COMPLETED_STATUSES = ("done", "hit", "resumed")
@@ -84,6 +90,63 @@ def git_sha(cwd: Optional[str] = None) -> Optional[str]:
     if proc.returncode != 0:
         return None
     return proc.stdout.strip() or None
+
+
+def git_dirty(cwd: Optional[str] = None) -> Optional[bool]:
+    """Whether the repository containing ``cwd`` has uncommitted changes.
+
+    ``None`` when there is no repository (or git is unavailable) — a
+    measurement from outside version control is neither clean nor
+    dirty, and the history store records exactly that.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd or os.getcwd(),
+            capture_output=True, text=True, timeout=5,
+        )
+    except Exception:
+        return None
+    if proc.returncode != 0:
+        return None
+    return bool(proc.stdout.strip())
+
+
+def new_run_id() -> str:
+    """A fresh run correlation id (16 hex chars, globally unique).
+
+    One id is minted per engine run and stamped on the manifest, every
+    ``events.jsonl`` line, every heartbeat record, and — for service
+    submissions — the queue journal, so records from one run can be
+    joined across files and hosts without guessing by mtime.
+    """
+    return uuid.uuid4().hex[:16]
+
+
+def host_fingerprint() -> str:
+    """Short stable hash identifying this host + Python environment.
+
+    Wall-clock measurements are only comparable between runs that share
+    a fingerprint; the perf-history degradation check uses it to avoid
+    flagging a laptop as a regression against a CI runner.
+    """
+    info = host_info()
+    blob = "|".join(str(info[key]) for key in
+                    ("hostname", "platform", "python", "cpu_count"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+
+def history_key(cwd: Optional[str] = None) -> dict:
+    """The identity a perf-history point is stored under.
+
+    ``{git_sha, git_dirty, fingerprint}`` — what code was measured,
+    whether the tree was clean, and on what kind of host.
+    """
+    return {
+        "git_sha": git_sha(cwd),
+        "git_dirty": git_dirty(cwd),
+        "fingerprint": host_fingerprint(),
+    }
 
 
 def _job_identity(job) -> dict:
@@ -126,14 +189,21 @@ class TelemetryWriter:
         self._jobs: List[dict] = []
         self._by_index: Dict[int, dict] = {}
         self._started = 0.0
+        #: Correlation id of the in-progress run (set by start_run).
+        self.run_id: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Engine-facing lifecycle.
     # ------------------------------------------------------------------
-    def start_run(self, jobs) -> None:
-        """Begin a run over ``jobs`` (a sequence of ``SimJob``)."""
+    def start_run(self, jobs, run_id: Optional[str] = None) -> None:
+        """Begin a run over ``jobs`` (a sequence of ``SimJob``).
+
+        ``run_id`` is the run's correlation id; one is minted when the
+        caller does not supply its own.
+        """
         self._run += 1
         self._started = time.time()
+        self.run_id = run_id or new_run_id()
         self._jobs = []
         self._by_index = {}
         for index, job in enumerate(jobs):
@@ -163,6 +233,7 @@ class TelemetryWriter:
         """Identity of the in-progress run (for live ``/runs`` views)."""
         return {
             "run": self._run,
+            "run_id": self.run_id,
             "started": self._started,
             "jobs": len(self._jobs),
         }
@@ -226,14 +297,18 @@ class TelemetryWriter:
             "resumed": getattr(report, "resumed", 0),
             "failed": getattr(report, "failed", 0),
         })
+        key = history_key()
         manifest = {
             "schema": MANIFEST_SCHEMA_VERSION,
             "status": status,
             "run": self._run,
+            "run_id": self.run_id,
             "created": self._started,
             "finished": time.time(),
             "host": host_info(),
-            "git_sha": git_sha(),
+            "git_sha": key["git_sha"],
+            "git_dirty": key["git_dirty"],
+            "history_key": key,
             "engine": report.to_dict(),
             "jobs": self._jobs,
         }
@@ -263,6 +338,8 @@ class TelemetryWriter:
                   file=sys.stderr)
 
     def _append(self, record: dict) -> None:
+        if self.run_id is not None:
+            record.setdefault("run_id", self.run_id)
         try:
             self._inject_write_fault()
             with open(self.events_path, "a", encoding="utf-8") as handle:

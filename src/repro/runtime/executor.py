@@ -63,7 +63,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.simulator import SimResult
 from repro.obs.heartbeat import HeartbeatMonitor, HeartbeatWriter, heartbeat_dir
-from repro.obs.manifest import TelemetryWriter
+from repro.obs.manifest import TelemetryWriter, new_run_id
 from repro.resilience.faults import FaultPlan, InjectedFault
 from repro.resilience.resume import ResumeState, load_resume_state
 from repro.resilience.watchdog import reap_executor
@@ -164,6 +164,7 @@ def _run_job(
     heartbeat_dir: Optional[str] = None,
     heartbeat_cycles: int = 0,
     profile: bool = False,
+    run_id: Optional[str] = None,
 ) -> Tuple[SimResult, float]:
     """Module-level worker entry point (must be picklable by name).
 
@@ -196,6 +197,7 @@ def _run_job(
             label=job.label,
             attempt=attempt,
             profiler=profiler,
+            run_id=run_id,
         )
         hook = writer.beat
     # Faults fire *after* the claim beat: a worker that wedges mid-run
@@ -284,6 +286,9 @@ class ExperimentEngine:
             self.resume = load_resume_state(resume)
         #: Report of the most recent :meth:`run` call.
         self.report = EngineReport()
+        #: Correlation id of the most recent :meth:`run` call; stamped
+        #: on the manifest, event lines, and heartbeat records.
+        self.run_id: Optional[str] = None
         self._failures: List[JobFailure] = []
         # --- live observability (all optional, all read-only) -------------
         self.heartbeat_cycles = resolve_heartbeat_cycles(heartbeat_cycles)
@@ -365,8 +370,9 @@ class ExperimentEngine:
         report = EngineReport(total=len(jobs), workers=self.workers)
         self.report = report
         self._failures = []
+        self.run_id = new_run_id()
         if self.telemetry is not None:
-            self.telemetry.start_run(jobs)
+            self.telemetry.start_run(jobs, run_id=self.run_id)
         self._monitor = None
         hb_dir = self._heartbeat_directory()
         if hb_dir is not None:
@@ -509,6 +515,7 @@ class ExperimentEngine:
                         heartbeat_dir=hb_dir,
                         heartbeat_cycles=self.heartbeat_cycles,
                         profile=self.server is not None,
+                        run_id=self.run_id,
                     )
                 except InjectedFault as fault:
                     reasons[index] = str(fault)
@@ -550,6 +557,7 @@ class ExperimentEngine:
                         heartbeat_dir=hb_dir,
                         heartbeat_cycles=self.heartbeat_cycles,
                         profile=self.server is not None,
+                        run_id=self.run_id,
                     )
                     futures[future] = (index, job)
             except Exception:

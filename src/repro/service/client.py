@@ -21,6 +21,7 @@ import urllib.request
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.simulator import SimResult
+from repro.obs.manifest import new_run_id
 from repro.runtime.job import SimJob
 from repro.service.worker import (
     REQUEST_TIMEOUT,
@@ -58,13 +59,17 @@ def _get_json(url: str, path: str,
 
 
 def submit_jobs(url: str, jobs: Sequence[SimJob],
-                stream=None) -> Dict[str, str]:
+                stream=None, run_id: Optional[str] = None) -> Dict[str, str]:
     """Submit every job; returns ``{key: state}`` as acknowledged.
 
-    Raises :class:`JobRejected` on a validation failure (the sweep is
-    malformed — pushing on would just fail every cell) and
+    Every submission in one call shares one ``run_id`` correlation id
+    (minted here when the caller has none), which the service journals
+    with the entry — the cross-host analogue of the engine's manifest
+    stamp.  Raises :class:`JobRejected` on a validation failure (the
+    sweep is malformed — pushing on would just fail every cell) and
     :class:`ServiceUnavailable` when the server cannot be reached.
     """
+    run_id = run_id or new_run_id()
     states: Dict[str, str] = {}
     for job in jobs:
         if not job.cacheable:
@@ -72,7 +77,9 @@ def submit_jobs(url: str, jobs: Sequence[SimJob],
                 f"ad-hoc Program job {job.label!r} has no canonical form "
                 "and cannot be submitted to a service"
             )
-        response = _post_json(url, "/jobs", job.canonical())
+        payload = dict(job.canonical())
+        payload["run_id"] = run_id
+        response = _post_json(url, "/jobs", payload)
         if "error" in response:
             raise JobRejected(f"{job.label}: {response['error']}")
         states[job.key] = response.get("state", "pending")

@@ -62,6 +62,9 @@ class QueueEntry:
     requeues: int = 0
     elapsed: Optional[float] = None
     reason: Optional[str] = None
+    #: Correlation id of the submitting run, echoed on every journal
+    #: line for this entry so service records join to run manifests.
+    run_id: Optional[str] = None
 
     def public(self, now: Optional[float] = None) -> dict:
         """The ``GET /jobs/<key>`` / ``GET /queue`` view of this entry."""
@@ -83,6 +86,8 @@ class QueueEntry:
             record["elapsed"] = self.elapsed
         if self.reason is not None:
             record["reason"] = self.reason
+        if self.run_id is not None:
+            record["run_id"] = self.run_id
         return record
 
 
@@ -118,6 +123,8 @@ class JobQueue:
     # Journal.
     # ------------------------------------------------------------------
     def _append(self, event: str, key: str, **fields) -> None:
+        if fields.get("run_id") is None:
+            fields.pop("run_id", None)
         record = {"event": event, "key": key, "ts": time.time(),
                   "schema": QUEUE_SCHEMA_VERSION}
         record.update(fields)
@@ -157,7 +164,7 @@ class JobQueue:
                 entry.lease_deadline = None
                 entry.requeues += 1
                 self._append("requeue", key, reason="server restart",
-                             requeues=entry.requeues)
+                             requeues=entry.requeues, run_id=entry.run_id)
 
     def _apply(self, record: dict) -> None:
         event = record.get("event")
@@ -173,6 +180,7 @@ class JobQueue:
                 entry = QueueEntry(
                     key=key, payload=payload, index=len(self._order),
                     submitted=record.get("ts", 0.0),
+                    run_id=record.get("run_id"),
                 )
                 self._entries[key] = entry
                 self._order.append(key)
@@ -203,12 +211,16 @@ class JobQueue:
     # ------------------------------------------------------------------
     # Transitions.
     # ------------------------------------------------------------------
-    def submit(self, key: str, payload: dict) -> tuple:
+    def submit(self, key: str, payload: dict,
+               run_id: Optional[str] = None) -> tuple:
         """Enqueue a job; idempotent.  Returns ``(entry, created)``.
 
         A duplicate key — same cell submitted twice, by any client —
         returns the existing entry in whatever state it has reached, so
         concurrent identical sweeps coalesce onto one computation.
+        ``run_id`` correlates the entry (and its journal lines) with
+        the submitting run's manifest; a duplicate submission keeps the
+        original entry's id.
         """
         with self._lock:
             entry = self._entries.get(key)
@@ -216,11 +228,12 @@ class JobQueue:
                 return entry, False
             entry = QueueEntry(
                 key=key, payload=payload, index=len(self._order),
-                submitted=time.time(),
+                submitted=time.time(), run_id=run_id,
             )
             self._entries[key] = entry
             self._order.append(key)
-            self._append("submit", key, payload=payload, index=entry.index)
+            self._append("submit", key, payload=payload, index=entry.index,
+                         run_id=entry.run_id)
             return entry, True
 
     def claim(self, worker: str) -> Optional[QueueEntry]:
@@ -236,7 +249,7 @@ class JobQueue:
                 entry.claims += 1
                 entry.lease_deadline = time.time() + self.lease_seconds
                 self._append("claim", key, worker=worker,
-                             claims=entry.claims)
+                             claims=entry.claims, run_id=entry.run_id)
                 return entry
             return None
 
@@ -270,7 +283,7 @@ class JobQueue:
             entry.lease_deadline = None
             entry.reason = None
             self._append("complete", key, worker=entry.worker,
-                         elapsed=elapsed)
+                         elapsed=elapsed, run_id=entry.run_id)
             return True
 
     def fail(self, key: str, reason: str,
@@ -284,7 +297,8 @@ class JobQueue:
             entry.worker = worker or entry.worker
             entry.reason = reason
             entry.lease_deadline = None
-            self._append("fail", key, worker=entry.worker, reason=reason)
+            self._append("fail", key, worker=entry.worker, reason=reason,
+                         run_id=entry.run_id)
             return True
 
     def expire(self, now: Optional[float] = None) -> int:
@@ -307,7 +321,8 @@ class JobQueue:
                     entry.lease_deadline = None
                     entry.requeues += 1
                     self._append("requeue", key, reason="lease expired",
-                                 requeues=entry.requeues)
+                                 requeues=entry.requeues,
+                                 run_id=entry.run_id)
                     expired += 1
         return expired
 

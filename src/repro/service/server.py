@@ -180,8 +180,16 @@ class ServiceServer(TelemetryServer):
             pass
 
     def _post_job(self, body: dict):
-        """Validate, dedupe, and enqueue one submission."""
+        """Validate, dedupe, and enqueue one submission.
+
+        ``run_id`` in the body is a routing field, not part of the
+        job's canonical form: it is peeled off before validation and
+        recorded on the queue entry for cross-host correlation.
+        """
         self.submits += 1
+        run_id = body.pop("run_id", None)
+        if run_id is not None:
+            run_id = str(run_id)
         try:
             job = SimJob.from_canonical(body)
             # Resolve the benchmark now so an unknown name is a clean
@@ -197,7 +205,8 @@ class ServiceServer(TelemetryServer):
             # no worker wakes, the submit is answered from disk.
             self.submit_cache_hits += 1
             return 200, {"key": key, "state": "done", "cached": True}
-        entry, created = self.queue.submit(key, job.canonical())
+        entry, created = self.queue.submit(key, job.canonical(),
+                                           run_id=run_id)
         if not created:
             self.submit_duplicates += 1
         return (202 if created else 200), {
@@ -219,6 +228,7 @@ class ServiceServer(TelemetryServer):
             "index": entry.index,
             "claims": entry.claims,
             "lease_seconds": self.queue.lease_seconds,
+            "run_id": entry.run_id,
         }
 
     def _post_complete(self, body: dict):
@@ -270,7 +280,7 @@ class ServiceServer(TelemetryServer):
         record = {field: body.get(field) for field in
                   ("schema", "pid", "index", "key", "label", "attempt",
                    "beats", "cycles", "retired", "ipc", "elapsed",
-                   "profile", "done", "worker")
+                   "profile", "done", "worker", "run_id")
                   if body.get(field) is not None}
         record["ts"] = time.time()
         index = record.get("index", 0)

@@ -212,7 +212,8 @@ class WorkerAgent:
             self._report_complete(job, cached.to_dict(), elapsed=0.0)
             return
         started = time.monotonic()
-        hook = self._heartbeat_hook(job, index, attempt, started)
+        hook = self._heartbeat_hook(job, index, attempt, started,
+                                    run_id=claim.get("run_id"))
         try:
             result = job.run(
                 progress_hook=hook if self.heartbeat_cycles else None,
@@ -228,7 +229,7 @@ class WorkerAgent:
         self._report_complete(job, result.to_dict(), elapsed=elapsed)
 
     def _heartbeat_hook(self, job: SimJob, index: int, attempt: int,
-                        started: float):
+                        started: float, run_id=None):
         """A simulator progress hook posting heartbeats over HTTP."""
         def beat(pipeline) -> None:
             stats = pipeline.stats
@@ -246,6 +247,8 @@ class WorkerAgent:
                 "elapsed": time.monotonic() - started,
                 "worker": self.name,
             }
+            if run_id is not None:
+                record["run_id"] = run_id
             try:
                 _post_json(self.url, "/heartbeat", record, timeout=5.0)
                 self.heartbeats += 1

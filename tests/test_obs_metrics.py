@@ -10,7 +10,7 @@ from repro.cluster.config import MachineConfig
 from repro.core.debug import STALL_CATEGORIES, StallAttributor
 from repro.core.pipeline import Pipeline
 from repro.core.simulator import Simulator
-from repro.obs import MetricsRegistry, PipelineMetrics
+from repro.obs import Histogram, MetricsRegistry, PipelineMetrics
 
 
 @pytest.fixture
@@ -167,3 +167,46 @@ class TestPipelineMetricsObserver:
         pipeline.run(500)
         assert registry.counter("retire.count", cluster=0).value == before
         assert pipeline.observer is None
+
+
+class TestHistogramSummaryEdgeCases:
+    def test_empty_histogram_summary_is_all_zero(self):
+        summary = Histogram.of([]).summary()
+        assert summary == {"count": 0, "sum": 0.0, "mean": 0.0,
+                           "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_single_sample_quantiles_cover_the_sample(self):
+        summary = Histogram.of([3.0]).summary()
+        assert summary["count"] == 1
+        assert summary["sum"] == pytest.approx(3.0)
+        assert summary["mean"] == pytest.approx(3.0)
+        # One sample lands in one bucket: every quantile interpolates
+        # inside that bucket, so none can exceed its upper bound and
+        # all must stay past the previous bound.
+        assert 2.0 < summary["p50"] <= 4.0
+        assert 2.0 < summary["p99"] <= 4.0
+
+    def test_all_equal_samples_agree_across_quantiles(self):
+        summary = Histogram.of([5.0] * 100).summary()
+        assert summary["count"] == 100
+        assert summary["mean"] == pytest.approx(5.0)
+        # All mass sits in the bucket containing 5.0 (bounds 4..8):
+        # quantiles interpolate within it and stay ordered.
+        assert 4.0 < summary["p50"] <= 8.0
+        assert summary["p50"] <= summary["p95"] <= summary["p99"] <= 8.0
+
+    def test_quantiles_are_monotonic_on_spread_data(self):
+        values = [0.1 * i for i in range(1, 200)]
+        summary = Histogram.of(values).summary()
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert summary["count"] == len(values)
+        assert summary["sum"] == pytest.approx(sum(values))
+
+    def test_overflow_samples_report_last_bound(self):
+        histogram = Histogram([1.0, 2.0])
+        for value in (10.0, 20.0, 30.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        # Everything overflowed: quantiles can only answer with the
+        # largest finite bound, and stay monotonic doing it.
+        assert summary["p50"] == summary["p99"] == 2.0

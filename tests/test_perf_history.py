@@ -1,0 +1,476 @@
+"""Tests for the perf-history subsystem: bench, trajectory, check,
+bisect, run-id correlation, and the machine-readable CLI surfaces."""
+
+import json
+import subprocess
+
+import pytest
+
+from repro.analysis.bench import run_bench
+from repro.analysis.degradation import (
+    bisect_commits,
+    check_history,
+    classify_threshold,
+    git_commits,
+    measure_command,
+)
+from repro.analysis.history import (
+    HISTORY_SCHEMA_VERSION,
+    HistoryStore,
+    append_trajectory,
+    entry_metric,
+    load_points,
+    load_trajectory,
+    make_point,
+    metric_direction,
+    metric_series,
+    render_history,
+    sparkline,
+    validate_point,
+)
+from repro.cli import main
+from repro.obs.server import TelemetryServer
+from repro.runtime import settings
+
+SHA_A = "a" * 40
+SHA_B = "b" * 40
+HOST_X = "fingerprintx"
+HOST_Y = "fingerprinty"
+
+
+def cell(value, band=0.01):
+    return {"value": value, "band": band}
+
+
+def synth_point(ts, ipc=1.5, kcyc=50.0, sha=SHA_A, fingerprint=HOST_X,
+                profile="quick", dirty=False, mispredict=0.10):
+    entries = {
+        "gzip|Base": {
+            "ipc": cell(ipc, 0.02),
+            "mispredict_rate": cell(mispredict, 0.005),
+            "wall.kcyc_per_s": cell(kcyc, 2.0),
+            "wall.phase_share.fetch": cell(0.25, 0.05),
+        },
+    }
+    return make_point(entries, run_id=f"run{int(ts)}", profile=profile,
+                      ts=ts, sha=sha, dirty=dirty,
+                      fingerprint=fingerprint)
+
+
+@pytest.fixture(autouse=True)
+def isolated_runtime(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_HISTORY_FILE", raising=False)
+    settings.configure(jobs=None, cache=None, telemetry_dir=None)
+    yield
+    settings.configure(jobs=None, cache=None, telemetry_dir=None)
+
+
+# ----------------------------------------------------------------------
+# The bench harness.
+# ----------------------------------------------------------------------
+class TestBench:
+    def test_tiny_bench_point_is_valid_and_measured(self):
+        point = run_bench(profile="quick", reps=2, benchmarks=["gzip"],
+                          instructions=600, warmup=300)
+        validate_point(point)
+        assert point["profile"] == "quick"
+        assert point["run_id"]
+        assert set(point["entries"]) == {"gzip|Base", "gzip|FDRT"}
+        for metrics in point["entries"].values():
+            wall = metrics["wall.kcyc_per_s"]
+            assert wall["value"] > 0
+            assert wall["band"] > 0
+            # The generous wall floor: never gate tighter than 15%.
+            assert wall["band"] >= 0.15 * wall["value"] - 1e-9
+            assert metrics["ipc"]["value"] > 0
+            shares = [metrics[f"wall.phase_share.{p}"]["value"]
+                      for p in ("fetch", "assign", "execute", "fill")]
+            assert sum(shares) == pytest.approx(1.0)
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench profile"):
+            run_bench(profile="nope")
+
+
+# ----------------------------------------------------------------------
+# Trajectory + store.
+# ----------------------------------------------------------------------
+class TestTrajectory:
+    def test_append_grows_in_order(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        append_trajectory(path, synth_point(100.0))
+        document = append_trajectory(path, synth_point(200.0, ipc=1.6))
+        assert document["schema"] == HISTORY_SCHEMA_VERSION
+        points = load_points(str(path))
+        assert [p["ts"] for p in points] == [100.0, 200.0]
+        assert entry_metric(points[-1], "ipc") == pytest.approx(1.6)
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps({"schema": 999, "points": []}))
+        with pytest.raises(ValueError, match="unsupported trajectory"):
+            load_trajectory(str(path))
+        with pytest.raises(ValueError):
+            append_trajectory(path, {"schema": 999})
+
+    def test_store_roundtrip_sorted_and_torn_file_skipped(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "perf-history"))
+        store.add(synth_point(200.0))
+        store.add(synth_point(100.0, ipc=1.4))
+        (tmp_path / "perf-history" / "zzz-torn.json").write_text("{nope")
+        points = store.points()
+        assert [p["ts"] for p in points] == [100.0, 200.0]
+        assert store.latest()["ts"] == 200.0
+        assert load_points(str(tmp_path / "perf-history")) == points
+
+    def test_series_sparkline_and_render(self):
+        points = [synth_point(t, kcyc=40.0 + t) for t in (1.0, 2.0, 3.0)]
+        series = metric_series(points, "wall.kcyc_per_s",
+                               entry="gzip|Base")
+        assert [value for _, value in series] == [41.0, 42.0, 43.0]
+        line = sparkline(value for _, value in series)
+        assert len(line) == 3 and line[0] != line[-1]
+        assert sparkline([]) == ""
+        assert len(set(sparkline([5.0, 5.0, 5.0]))) == 1
+        rendered = render_history(points, "wall.kcyc_per_s")
+        assert SHA_A[:7] in rendered and "quick" in rendered
+
+    def test_wall_metric_directions(self):
+        assert metric_direction("wall.kcyc_per_s") == "higher"
+        assert metric_direction("wall.phase_share.fetch") == "info"
+        assert metric_direction("ipc") == "higher"
+        assert metric_direction("mispredict_rate") == "lower"
+
+
+# ----------------------------------------------------------------------
+# Degradation checks.
+# ----------------------------------------------------------------------
+class TestCheck:
+    def test_clean_history_passes(self):
+        points = [synth_point(t) for t in (1.0, 2.0, 3.0, 4.0)]
+        report = check_history(points)
+        assert report.exit_code == 0
+        assert not report.regressions
+        assert "ok" in report.render()
+
+    def test_injected_wall_slowdown_fails(self):
+        points = [synth_point(t) for t in (1.0, 2.0, 3.0)]
+        points.append(synth_point(4.0, kcyc=30.0, sha=SHA_B))
+        report = check_history(points)
+        assert report.exit_code == 1
+        names = {(e.entry, e.metric) for e in report.regressions}
+        assert ("gzip|Base", "wall.kcyc_per_s") in names
+        assert "REGRESSION" in report.render()
+        assert report.to_dict()["exit_code"] == 1
+
+    def test_injected_ipc_regression_fails(self):
+        points = [synth_point(t) for t in (1.0, 2.0, 3.0)]
+        points.append(synth_point(4.0, ipc=1.3, sha=SHA_B))
+        report = check_history(points)
+        assert report.exit_code == 1
+        assert any(e.metric == "ipc" for e in report.regressions)
+
+    def test_favourable_moves_are_improvements_not_regressions(self):
+        points = [synth_point(t) for t in (1.0, 2.0, 3.0)]
+        points.append(synth_point(4.0, ipc=1.8, mispredict=0.05,
+                                  kcyc=80.0))
+        report = check_history(points)
+        assert report.exit_code == 0
+        improved = {e.metric for e in report.entries
+                    if e.status == "improved"}
+        assert {"ipc", "mispredict_rate", "wall.kcyc_per_s"} <= improved
+
+    def test_cross_host_wall_metrics_skipped_sim_still_gates(self):
+        points = [synth_point(t, fingerprint=HOST_Y) for t in (1.0, 2.0)]
+        # Same slowdown as the failing test, but on a different host:
+        # wall must not gate, while the IPC regression still does.
+        points.append(synth_point(3.0, kcyc=30.0, ipc=1.3,
+                                  fingerprint=HOST_X))
+        report = check_history(points)
+        wall = [e for e in report.entries
+                if e.metric == "wall.kcyc_per_s"]
+        assert [e.status for e in wall] == ["skipped"]
+        assert any(e.metric == "ipc" for e in report.regressions)
+        assert any("fingerprint" in note for note in report.notes)
+
+    def test_profiles_never_cross_gate(self):
+        points = [synth_point(t, profile="full") for t in (1.0, 2.0)]
+        points.append(synth_point(3.0, kcyc=30.0, ipc=1.3,
+                                  profile="quick"))
+        report = check_history(points)
+        assert report.exit_code == 2  # no comparable references
+
+    def test_outlier_reference_dropped(self):
+        points = [synth_point(t) for t in (1.0, 2.0, 3.0)]
+        points.insert(1, synth_point(1.5, ipc=9.0))  # poisoned point
+        points.append(synth_point(4.0))
+        report = check_history(points)
+        ipc = next(e for e in report.entries
+                   if e.metric == "ipc" and e.entry == "gzip|Base")
+        assert ipc.status == "ok"
+        assert ipc.reference == pytest.approx(1.5)
+
+    def test_empty_history_exits_2(self):
+        report = check_history([])
+        assert report.exit_code == 2
+        assert "no history points" in report.render()
+
+    def test_check_cli_exit_codes(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        for t in (1.0, 2.0, 3.0):
+            append_trajectory(path, synth_point(t))
+        assert main(["check", "--history-file", str(path)]) == 0
+        append_trajectory(path, synth_point(4.0, kcyc=30.0))
+        assert main(["check", "--history-file", str(path)]) == 1
+
+    def test_check_cli_json(self, tmp_path, capsys):
+        path = tmp_path / "BENCH.json"
+        for t in (1.0, 2.0, 3.0):
+            append_trajectory(path, synth_point(t))
+        assert main(["check", "--history-file", str(path),
+                     "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["exit_code"] == 0
+        assert document["entries"]
+
+
+# ----------------------------------------------------------------------
+# Bisection.
+# ----------------------------------------------------------------------
+@pytest.fixture
+def scratch_repo(tmp_path):
+    """A git repo whose committed value.txt drops from 10 to 3."""
+    repo = tmp_path / "scratch"
+    repo.mkdir()
+
+    def git(*argv):
+        subprocess.run(["git", *argv], cwd=repo, check=True,
+                       capture_output=True, text=True)
+
+    git("init", "-q")
+    git("config", "user.email", "test@example.com")
+    git("config", "user.name", "Test")
+    shas = []
+    for i, value in enumerate((10, 10, 10, 3, 3)):
+        (repo / "value.txt").write_text(f"{value}\n")
+        git("add", "value.txt")
+        git("commit", "-q", "--allow-empty", "-m",
+            f"point {i}: value {value}")
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=repo, check=True,
+            capture_output=True, text=True).stdout.strip()
+        shas.append(sha)
+    return repo, shas
+
+
+class TestBisect:
+    def test_finds_first_regressing_commit(self, scratch_repo):
+        repo, shas = scratch_repo
+        commits = git_commits(str(repo), shas[0], shas[-1])
+        assert commits == shas[1:]
+        probes = []
+
+        def measure(sha):
+            probes.append(sha)
+            return measure_command(str(repo), ["cat", "value.txt"])(sha)
+
+        verdict = bisect_commits(
+            commits, measure, classify_threshold(6.0, "higher"))
+        assert verdict["first_bad"] == shas[3]
+        assert verdict["value"] == pytest.approx(3.0)
+        assert len(probes) <= len(commits)  # binary search, not a scan
+
+    def test_all_good_returns_none(self, scratch_repo):
+        repo, shas = scratch_repo
+        commits = git_commits(str(repo), shas[0], shas[-1])
+        verdict = bisect_commits(
+            commits, measure_command(str(repo), ["cat", "value.txt"]),
+            classify_threshold(1.0, "higher"))
+        assert verdict is None
+
+    def test_classifier_directions(self):
+        assert classify_threshold(6.0, "higher")(3.0) is True
+        assert classify_threshold(6.0, "higher")(9.0) is False
+        assert classify_threshold(6.0, "lower")(9.0) is True
+        assert classify_threshold(6.0, "lower")(3.0) is False
+        with pytest.raises(ValueError):
+            classify_threshold(6.0, "sideways")
+
+    def test_bisect_cli_locates_commit(self, scratch_repo, capsys):
+        repo, shas = scratch_repo
+        code = main(["bisect", shas[0], shas[-1], "--repo", str(repo),
+                     "--threshold", "6", "--command", "cat value.txt"])
+        assert code == 0
+        assert shas[3] in capsys.readouterr().out
+
+    def test_bisect_cli_empty_range_is_usage_error(self, scratch_repo):
+        repo, shas = scratch_repo
+        assert main(["bisect", shas[0], shas[0], "--repo", str(repo),
+                     "--threshold", "6",
+                     "--command", "cat value.txt"]) == 2
+
+
+# ----------------------------------------------------------------------
+# run_id correlation (manifest / events / heartbeats / service journal).
+# ----------------------------------------------------------------------
+class TestRunIdThreading:
+    def test_engine_stamps_one_run_id_everywhere(self, tmp_path):
+        from repro.assign.base import StrategySpec
+        from repro.cluster.config import MachineConfig
+        from repro.obs import load_manifest
+        from repro.runtime import ExperimentEngine, SimJob
+
+        tdir = tmp_path / "telemetry"
+        engine = ExperimentEngine(jobs=1, telemetry=str(tdir))
+        engine.run([SimJob(benchmark="gzip",
+                           spec=StrategySpec(kind="base"),
+                           config=MachineConfig(),
+                           instructions=400, warmup=200)])
+        manifest = load_manifest(str(tdir))
+        run_id = manifest["run_id"]
+        assert run_id and len(run_id) == 16
+        assert manifest["history_key"]["fingerprint"]
+        assert "git_dirty" in manifest
+        with open(tdir / "events.jsonl", encoding="utf-8") as handle:
+            events = [json.loads(line) for line in handle]
+        assert events
+        assert all(e["run_id"] == run_id for e in events)
+        heartbeats = list((tdir / "heartbeats").glob("*.json"))
+        assert heartbeats
+        for path in heartbeats:
+            assert json.loads(
+                path.read_text())["run_id"] == run_id
+
+    def test_service_journal_carries_submission_run_id(self, tmp_path):
+        from repro.service.queue import JobQueue
+
+        queue = JobQueue(str(tmp_path / "svc"))
+        queue.submit("k1", {"benchmark": "gzip"}, run_id="cafecafe")
+        entry = queue.claim("worker-1")
+        assert entry.run_id == "cafecafe"
+        assert entry.public()["run_id"] == "cafecafe"
+        queue.complete("k1", worker="worker-1", elapsed=0.5)
+        with open(tmp_path / "svc" / "queue.jsonl",
+                  encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        assert [r.get("run_id") for r in records] == ["cafecafe"] * 3
+        # A journal replay reconstructs the correlation too.
+        replayed = JobQueue(str(tmp_path / "svc"))
+        assert replayed.get("k1").run_id == "cafecafe"
+
+
+# ----------------------------------------------------------------------
+# Machine-readable diff/analyze + provenance notes.
+# ----------------------------------------------------------------------
+def write_baseline_doc(path, sha, ipc=1.5, dirty=False):
+    document = {
+        "schema": 1,
+        "created": 0.0,
+        "git_sha": sha,
+        "git_dirty": dirty,
+        "machine": "base",
+        "instructions": 400,
+        "warmup": 200,
+        "seeds": [1],
+        "entries": {
+            "gzip|Base": {
+                "benchmark": "gzip",
+                "strategy": "Base",
+                "metrics": {
+                    "ipc": {"value": ipc, "mean": ipc, "band": 0.02},
+                },
+            },
+        },
+    }
+    path.write_text(json.dumps(document))
+    return str(path)
+
+
+class TestDiffProvenance:
+    def test_sha_mismatch_noted_and_in_json(self, tmp_path, capsys):
+        a = write_baseline_doc(tmp_path / "a.json", SHA_A)
+        b = write_baseline_doc(tmp_path / "b.json", SHA_B, dirty=True)
+        assert main(["diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "different commits" in out
+        assert "dirty working tree" in out
+        assert main(["diff", a, b, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["exit_code"] == 0
+        assert any("different commits" in note
+                   for note in document["notes"])
+
+    def test_same_sha_no_note_and_regression_gates(self, tmp_path,
+                                                   capsys):
+        a = write_baseline_doc(tmp_path / "a.json", SHA_A)
+        b = write_baseline_doc(tmp_path / "b.json", SHA_A, ipc=1.2)
+        assert main(["diff", a, b, "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["notes"] == []
+        assert document["exit_code"] == 1
+        flags = [m["flag"] for e in document["entries"]
+                 for m in e["metrics"]]
+        assert "REGRESSION" in flags
+
+    def test_baseline_capture_records_dirty_flag(self):
+        from repro.analysis.baseline import capture_baseline
+        from repro.assign.base import StrategySpec
+        from repro.cluster.config import MachineConfig
+
+        document = capture_baseline(
+            ["gzip"], [StrategySpec(kind="base")],
+            config=MachineConfig(),
+            machine="base", instructions=400, warmup=200, seeds=[1])
+        assert "git_dirty" in document
+        assert "git_sha" in document
+
+
+class TestAnalyzeJson:
+    def test_analyze_json_document(self, tmp_path, capsys):
+        from repro.assign.base import StrategySpec
+        from repro.cluster.config import MachineConfig
+        from repro.runtime import ExperimentEngine, SimJob
+
+        tdir = tmp_path / "telemetry"
+        ExperimentEngine(jobs=1, telemetry=str(tdir)).run(
+            [SimJob(benchmark="gzip", spec=StrategySpec(kind="fdrt"),
+                    config=MachineConfig(),
+                    instructions=400, warmup=200)])
+        assert main(["analyze", str(tdir), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["attributions"][0]["benchmark"] == "gzip"
+        assert document["quality"][0]["option_mix"]
+        assert document["engine"]["total"] == 1
+
+
+# ----------------------------------------------------------------------
+# Exporter integration.
+# ----------------------------------------------------------------------
+class TestServerHistoryMetrics:
+    def test_metrics_expose_latest_point_and_delta(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        append_trajectory(path, synth_point(1.0, kcyc=50.0))
+        append_trajectory(path, synth_point(2.0, kcyc=45.0))
+        server = TelemetryServer(history_path=str(path))
+        text = server.metrics_text()
+        assert "repro_perf_history_points 2" in text
+        assert ('repro_perf_history_value{entry="gzip|Base",'
+                'metric="wall.kcyc_per_s"} 45' in text)
+        assert ('repro_perf_history_delta{entry="gzip|Base",'
+                'metric="wall.kcyc_per_s"} -5' in text)
+        assert "repro_perf_history_band" in text
+        assert 'profile="quick"' in text
+
+    def test_missing_trajectory_is_silent(self, tmp_path):
+        server = TelemetryServer(
+            history_path=str(tmp_path / "nope.json"))
+        text = server.metrics_text()
+        assert "perf_history" not in text
+
+    def test_env_var_resolves_default_path(self, tmp_path, monkeypatch):
+        path = tmp_path / "BENCH.json"
+        append_trajectory(path, synth_point(1.0))
+        monkeypatch.setenv("REPRO_HISTORY_FILE", str(path))
+        server = TelemetryServer()
+        assert "repro_perf_history_points 1" in server.metrics_text()
