@@ -338,6 +338,27 @@ def _build_parser() -> argparse.ArgumentParser:
     fetch.add_argument("--timeout", type=float, default=None, metavar="S",
                        help="give up after S seconds of polling")
 
+    spans = sub.add_parser(
+        "spans",
+        help="render distributed traces: per-trace waterfall + "
+             "critical-path summary (see docs/OBSERVABILITY.md)")
+    spans.add_argument("source",
+                       help="directory holding spans.jsonl (or the file "
+                            "itself), or a repro service URL")
+    spans.add_argument("--trace", default=None, metavar="ID",
+                       help="show only traces whose id starts with ID")
+    spans.add_argument("--limit", type=int, default=20, metavar="N",
+                       help="traces to render (default 20)")
+    spans.add_argument("--once", action="store_true",
+                       help="print one snapshot and exit (the default; "
+                            "accepted for symmetry with `repro top`)")
+    spans.add_argument("--perfetto", default=None, metavar="PATH",
+                       help="also write a Chrome/Perfetto trace-event "
+                            "JSON file to PATH")
+    spans.add_argument("--cycle-trace", default=None, metavar="PATH",
+                       help="merge a `repro trace` cycle-trace JSON "
+                            "into the --perfetto export")
+
     cache = sub.add_parser(
         "cache", help="inspect and maintain the on-disk result cache")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -980,6 +1001,7 @@ def _cmd_submit(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     print(_render_remote_table(benchmarks, specs, jobs, results))
+    _print_latency(url, jobs)
     return 0
 
 
@@ -1008,7 +1030,68 @@ def _cmd_fetch(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     print(_render_remote_table(benchmarks, specs, jobs, results))
+    _print_latency(url, jobs)
     return 0
+
+
+def _cmd_spans(args) -> int:
+    import json
+
+    from repro.obs.spans import (
+        read_spans,
+        render_critical_path,
+        render_spans,
+        spans_to_chrome,
+    )
+
+    source = args.source
+    if source.startswith(("http://", "https://")):
+        import urllib.request
+
+        try:
+            with urllib.request.urlopen(
+                f"{source.rstrip('/')}/spans", timeout=10.0
+            ) as response:
+                document = json.load(response)
+            spans = [record for record in document.get("spans", [])
+                     if isinstance(record, dict)]
+        except (OSError, ValueError) as error:
+            print(f"error: cannot fetch spans from {source} ({error})",
+                  file=sys.stderr)
+            return 1
+    else:
+        spans = read_spans(source)
+    if args.trace:
+        spans = [record for record in spans
+                 if str(record.get("trace", "")).startswith(args.trace)]
+    print(render_spans(spans, limit=args.limit))
+    if spans:
+        print()
+        print(render_critical_path(spans))
+    if args.perfetto:
+        cycle = None
+        if args.cycle_trace:
+            try:
+                with open(args.cycle_trace, encoding="utf-8") as handle:
+                    cycle = json.load(handle)
+            except (OSError, ValueError) as error:
+                print(f"error: cannot read --cycle-trace "
+                      f"{args.cycle_trace}: {error}", file=sys.stderr)
+                return 2
+        chrome = spans_to_chrome(spans, cycle_trace=cycle)
+        with open(args.perfetto, "w", encoding="utf-8") as handle:
+            json.dump(chrome, handle)
+        print(f"wrote Perfetto trace: {args.perfetto}", file=sys.stderr)
+    return 0
+
+
+def _print_latency(url, jobs) -> None:
+    """The submitted→claimed→done one-liner after a fetch (best-effort)."""
+    from repro.service import latency_breakdown, render_latency
+
+    line = render_latency(latency_breakdown(url, jobs))
+    if line:
+        print(line)
 
 
 def _cmd_cache(args) -> int:
@@ -1363,6 +1446,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "worker": _cmd_worker,
         "submit": _cmd_submit,
         "fetch": _cmd_fetch,
+        "spans": _cmd_spans,
         "cache": _cmd_cache,
         "profile": _cmd_profile,
         "analyze": _cmd_analyze,

@@ -82,6 +82,20 @@ from repro.obs.server import (
     TelemetryServer,
     registry_to_prometheus,
 )
+from repro.obs.spans import (
+    SPAN_SCHEMA_VERSION,
+    SPAN_STAGES,
+    Span,
+    SpanRecorder,
+    TraceContext,
+    critical_path,
+    group_traces,
+    read_spans,
+    render_critical_path,
+    render_spans,
+    spans_to_chrome,
+    trace_sampled,
+)
 from repro.obs.tracer import (
     FETCH_LANE,
     FILL_LANE,
@@ -110,10 +124,17 @@ __all__ = [
     "PipelineMetrics",
     "PipelineObserver",
     "PrometheusText",
+    "SPAN_SCHEMA_VERSION",
+    "SPAN_STAGES",
+    "Span",
+    "SpanRecorder",
     "TelemetryServer",
     "TelemetryWriter",
+    "TraceContext",
+    "critical_path",
     "git_dirty",
     "git_sha",
+    "group_traces",
     "heartbeat_dir",
     "history_key",
     "host_fingerprint",
@@ -121,5 +142,10 @@ __all__ = [
     "load_manifest",
     "new_run_id",
     "read_heartbeats",
+    "read_spans",
     "registry_to_prometheus",
+    "render_critical_path",
+    "render_spans",
+    "spans_to_chrome",
+    "trace_sampled",
 ]

@@ -44,6 +44,7 @@ import math
 import os
 import threading
 import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional
 
@@ -495,9 +496,24 @@ class TelemetryServer:
     # ------------------------------------------------------------------
     # Request plumbing.
     # ------------------------------------------------------------------
+    @staticmethod
+    def _request_id(request) -> str:
+        """The per-request correlation id, minted on first use.
+
+        Stamped onto every response as ``X-Repro-Request-Id`` (see
+        :meth:`_respond`) and echoed in 4xx/5xx JSON bodies so a
+        client-side error pairs with the server's view of the request.
+        """
+        rid = getattr(request, "repro_request_id", None)
+        if rid is None:
+            rid = uuid.uuid4().hex[:16]
+            request.repro_request_id = rid
+        return rid
+
     def handle(self, request: BaseHTTPRequestHandler) -> None:
         """Route one GET; never lets an exception kill the thread."""
         path = request.path.split("?", 1)[0].rstrip("/") or "/"
+        rid = self._request_id(request)
         self.scrapes += 1
         try:
             if path == "/metrics":
@@ -516,7 +532,8 @@ class TelemetryServer:
                 body = _json_bytes(
                     {"error": f"unknown endpoint {path}",
                      "endpoints": ["/metrics", "/jobs", "/runs",
-                                   "/healthz"]})
+                                   "/healthz"],
+                     "request_id": rid})
                 self._respond(request, 404, body, "application/json")
                 return
             self._respond(request, 200, body, content_type)
@@ -524,7 +541,8 @@ class TelemetryServer:
             try:
                 self._respond(
                     request, 500,
-                    _json_bytes({"error": str(error)}),
+                    _json_bytes({"error": str(error),
+                                 "request_id": rid}),
                     "application/json",
                 )
             except Exception:
@@ -539,7 +557,8 @@ class TelemetryServer:
         try:
             self._respond(
                 request, 405,
-                _json_bytes({"error": "this server is read-only"}),
+                _json_bytes({"error": "this server is read-only",
+                             "request_id": self._request_id(request)}),
                 "application/json",
             )
         except Exception:
@@ -566,6 +585,9 @@ class TelemetryServer:
         request.send_response(status)
         request.send_header("Content-Type", content_type)
         request.send_header("Content-Length", str(len(body)))
+        rid = getattr(request, "repro_request_id", None)
+        if rid is not None:
+            request.send_header("X-Repro-Request-Id", rid)
         request.end_headers()
         request.wfile.write(body)
 

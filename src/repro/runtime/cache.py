@@ -158,6 +158,11 @@ class ResultCache:
         #: Optional :class:`repro.resilience.FaultPlan` arming the
         #: ``cache.corrupt`` site (set by the engine for chaos runs).
         self.faults = None
+        #: Optional :class:`repro.obs.spans.SpanRecorder`.  When set and
+        #: a trace context is ambient (``tracer.current()``), lookups
+        #: and stores emit ``cache.*`` spans — observers only, never a
+        #: dependency (see ``docs/OBSERVABILITY.md``).
+        self.tracer = None
         self._requested_shards = shards
         self._shards: Optional[int] = None
 
@@ -242,6 +247,18 @@ class ResultCache:
         """
         if not self.enabled or not job.cacheable:
             return None
+        tracer = self.tracer
+        context = tracer.current() if tracer is not None else None
+        span = None
+        if context is not None:
+            span = tracer.start("cache.lookup", context, stage="cache",
+                                key=job.key)
+        result = self._load(job)
+        if span is not None:
+            tracer.finish(span, hit=result is not None)
+        return result
+
+    def _load(self, job: SimJob) -> Optional[SimResult]:
         key = job.key
         shard = self.shard_index(key)
         result = self._read_entry(self.path_for_key(key), shard)
@@ -339,9 +356,19 @@ class ResultCache:
         """Ask the service's cache backend; copy a hit into this cache."""
         if self.remote is None:
             return None
+        tracer = self.tracer
+        context = tracer.current() if tracer is not None else None
+        span = None
+        if context is not None:
+            span = tracer.start("cache.remote", context, stage="cache",
+                                key=job.key)
         payload = fetch_remote_entry(self.remote, job.key)
         if payload is None:
+            if span is not None:
+                tracer.finish(span, hit=False)
             return None
+        if span is not None:
+            tracer.finish(span, hit=True)
         try:
             if payload["schema"] != JOB_SCHEMA_VERSION:
                 raise ValueError(f"schema {payload['schema']!r}")
@@ -362,6 +389,20 @@ class ResultCache:
         """Atomically persist ``result`` under ``job``'s key."""
         if not self.enabled or not job.cacheable:
             return
+        tracer = self.tracer
+        context = tracer.current() if tracer is not None else None
+        span = None
+        if context is not None:
+            span = tracer.start("cache.store", context, stage="store",
+                                key=job.key)
+        try:
+            self._store(job, result, elapsed)
+        finally:
+            if span is not None:
+                tracer.finish(span)
+
+    def _store(self, job: SimJob, result: SimResult,
+               elapsed: Optional[float]) -> None:
         path = self.path_for(job)
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)

@@ -64,6 +64,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.simulator import SimResult
 from repro.obs.heartbeat import HeartbeatMonitor, HeartbeatWriter, heartbeat_dir
 from repro.obs.manifest import TelemetryWriter, new_run_id
+from repro.obs.spans import SpanRecorder, TraceContext
 from repro.resilience.faults import FaultPlan, InjectedFault
 from repro.resilience.resume import ResumeState, load_resume_state
 from repro.resilience.watchdog import reap_executor
@@ -78,7 +79,11 @@ from repro.runtime.settings import (
     resolve_stale_after,
     resolve_telemetry_dir,
     resolve_timeout,
+    resolve_trace_dir,
 )
+
+#: Job statuses that end a job's trace (everything except ``retry``).
+_TERMINAL_STATUSES = frozenset({"resumed", "hit", "done", "failed"})
 
 #: Re-exported so tests (and exotic callers) can substitute the pool class.
 ProcessPoolExecutor = concurrent.futures.ProcessPoolExecutor
@@ -278,6 +283,19 @@ class ExperimentEngine:
             self.cache.faults = faults
             if self.telemetry is not None:
                 self.telemetry.faults = faults
+        # Distributed tracing: with a telemetry directory (or
+        # REPRO_TRACE_DIR) configured, every job gets a root
+        # ``engine.job`` span and the cache's lookup/store spans nest
+        # under it in ``spans.jsonl``.  Without one the recorder is
+        # absent and the run path is byte-identical to pre-tracing.
+        span_dir = resolve_trace_dir() or (
+            self.telemetry.directory if self.telemetry is not None else None)
+        self.spans: Optional[SpanRecorder] = (
+            SpanRecorder(directory=span_dir) if span_dir else None)
+        if self.spans is not None:
+            self.cache.tracer = self.spans
+        self._job_contexts: Dict[int, TraceContext] = {}
+        self._job_started: Dict[int, float] = {}
         self.keep_going = keep_going
         self.backoff = resolve_backoff(backoff)
         if resume is None or isinstance(resume, ResumeState):
@@ -371,6 +389,10 @@ class ExperimentEngine:
         self.report = report
         self._failures = []
         self.run_id = new_run_id()
+        if self.spans is not None:
+            self.spans.run_id = self.run_id
+        self._job_contexts = {}
+        self._job_started = {}
         if self.telemetry is not None:
             self.telemetry.start_run(jobs, run_id=self.run_id)
         self._monitor = None
@@ -386,21 +408,26 @@ class ExperimentEngine:
         try:
             pending: List[Tuple[int, SimJob]] = []
             for index, job in enumerate(jobs):
-                replayed = self._replay(job)
-                if replayed is not None:
-                    results[index] = replayed
-                    report.resumed += 1
-                    self._emit(report, index, job, "resumed", 0.0,
-                               "journal", result=replayed)
-                    continue
-                cached = self.cache.load(job)
-                if cached is not None:
-                    results[index] = cached
-                    report.cache_hits += 1
-                    self._emit(report, index, job, "hit", 0.0, "cache",
-                               result=cached)
-                else:
-                    pending.append((index, job))
+                context = self._trace_start(index)
+                try:
+                    replayed = self._replay(job)
+                    if replayed is not None:
+                        results[index] = replayed
+                        report.resumed += 1
+                        self._emit(report, index, job, "resumed", 0.0,
+                                   "journal", result=replayed)
+                        continue
+                    cached = self.cache.load(job)
+                    if cached is not None:
+                        results[index] = cached
+                        report.cache_hits += 1
+                        self._emit(report, index, job, "hit", 0.0, "cache",
+                                   result=cached)
+                    else:
+                        pending.append((index, job))
+                finally:
+                    if context is not None:
+                        self.spans.pop()
 
             if pending:
                 if self.workers <= 1 or len(pending) == 1:
@@ -778,10 +805,55 @@ class ExperimentEngine:
     # ------------------------------------------------------------------
     # Bookkeeping
 
+    def _trace_start(self, index: int) -> Optional[TraceContext]:
+        """Mint (and push) a per-job root trace context, or ``None``.
+
+        ``None`` either because tracing is off entirely or this trace
+        lost the ``REPRO_TRACE_SAMPLE`` draw — downstream span code
+        checks the dict and records nothing.
+        """
+        if self.spans is None:
+            return None
+        context = TraceContext.root()
+        if not context.sampled:
+            return None
+        self._job_contexts[index] = context
+        self._job_started[index] = time.time()
+        self.spans.push(context)
+        return context
+
+    def _trace_finish(self, index, job, status, elapsed, source) -> None:
+        """Emit the root ``engine.job`` span for a job's terminal event."""
+        if self.spans is None:
+            return
+        context = self._job_contexts.pop(index, None)
+        if context is None:
+            return
+        end = time.time()
+        start = self._job_started.pop(index, end - elapsed)
+        attrs = {"label": job.label, "source": source,
+                 "outcome": status, "index": index}
+        if job.cacheable:
+            attrs["key"] = job.key
+        self.spans.emit(
+            "engine.job", context, start, end, stage="engine",
+            status="error" if status == "failed" else "ok", root=True,
+            **attrs)
+
     def _complete(
         self, index, job, result, elapsed, results, report, source,
     ) -> None:
-        self.cache.store(job, result, elapsed=elapsed)
+        context = (self._job_contexts.get(index)
+                   if self.spans is not None else None)
+        if context is not None:
+            # Re-establish the job's ambient context (the pool path
+            # stores from the harvest loop) so cache.store nests.
+            self.spans.push(context)
+        try:
+            self.cache.store(job, result, elapsed=elapsed)
+        finally:
+            if context is not None:
+                self.spans.pop()
         results[index] = result
         report.executed += 1
         report.job_seconds.append(elapsed)
@@ -790,6 +862,8 @@ class ExperimentEngine:
 
     def _emit(self, report, index, job, status, elapsed, source,
               result=None, reason=None) -> None:
+        if status in _TERMINAL_STATUSES:
+            self._trace_finish(index, job, status, elapsed, source)
         if self.progress is None and self.telemetry is None:
             return
         completed = (report.cache_hits + report.executed

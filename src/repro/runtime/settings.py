@@ -52,6 +52,16 @@ Environment variables:
     ``repro history`` / ``repro check`` and exposed by the telemetry
     exporter's ``repro_perf_history_*`` metric families.  Default
     ``BENCH_7.json`` (the committed trajectory).
+``REPRO_TRACE_SAMPLE``
+    Fraction of distributed traces that are sampled (recorded), in
+    ``[0, 1]`` — the root sampling decision is a deterministic hash of
+    the trace id, inherited by every child span (see
+    ``docs/OBSERVABILITY.md``, "Distributed tracing").  Default ``1.0``
+    (trace everything); ``0`` disables tracing entirely.
+``REPRO_TRACE_DIR``
+    Directory where service clients and workers additionally append
+    their own ``spans.jsonl`` (they always ship spans to the service's
+    ``POST /spans``).  Default: no local span file.
 """
 
 from __future__ import annotations
@@ -261,6 +271,32 @@ def resolve_history_file(
     if explicit is not None:
         return os.fspath(explicit)
     return os.environ.get("REPRO_HISTORY_FILE") or DEFAULT_HISTORY_FILE
+
+
+def resolve_trace_sample(explicit: Optional[float] = None) -> float:
+    """Resolve the distributed-trace sampling rate (clamped to [0, 1])."""
+    value = explicit
+    if value is None:
+        env = os.environ.get("REPRO_TRACE_SAMPLE")
+        if env is None or env == "":
+            return 1.0
+        value = env
+    try:
+        rate = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid trace sample rate {value!r}: expected a float in [0, 1]"
+        ) from None
+    return min(1.0, max(0.0, rate))
+
+
+def resolve_trace_dir(
+    explicit: Union[str, os.PathLike, None] = None,
+) -> Optional[str]:
+    """Resolve the local span directory (``None`` = no local spans)."""
+    if explicit is not None:
+        return os.fspath(explicit)
+    return os.environ.get("REPRO_TRACE_DIR") or None
 
 
 def resolve_backoff(explicit: Optional[float] = None) -> float:

@@ -32,7 +32,9 @@ from repro.service.client import (
     JobRejected,
     RemoteJobFailed,
     fetch_results,
+    latency_breakdown,
     queue_snapshot,
+    render_latency,
     submit_jobs,
 )
 from repro.service.queue import (
@@ -54,6 +56,8 @@ __all__ = [
     "ServiceUnavailable",
     "WorkerAgent",
     "fetch_results",
+    "latency_breakdown",
     "queue_snapshot",
+    "render_latency",
     "submit_jobs",
 ]

@@ -22,7 +22,9 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.simulator import SimResult
 from repro.obs.manifest import new_run_id
+from repro.obs.spans import SpanRecorder, TraceContext
 from repro.runtime.job import SimJob
+from repro.runtime.settings import resolve_trace_dir
 from repro.service.worker import (
     REQUEST_TIMEOUT,
     ServiceUnavailable,
@@ -31,6 +33,18 @@ from repro.service.worker import (
 
 #: Default seconds between result polls.
 DEFAULT_FETCH_INTERVAL = 0.5
+
+
+def _ship_spans(url: str, recorder: SpanRecorder) -> None:
+    """POST buffered client spans to the service (best-effort)."""
+    records = recorder.drain()
+    if not records:
+        return
+    try:
+        _post_json(url, "/spans", {"spans": records, "worker": "client"},
+                   timeout=5.0)
+    except ServiceUnavailable:
+        pass
 
 
 class JobRejected(ValueError):
@@ -59,33 +73,62 @@ def _get_json(url: str, path: str,
 
 
 def submit_jobs(url: str, jobs: Sequence[SimJob],
-                stream=None, run_id: Optional[str] = None) -> Dict[str, str]:
+                stream=None, run_id: Optional[str] = None,
+                trace_contexts: Optional[Dict[str, str]] = None,
+                ) -> Dict[str, str]:
     """Submit every job; returns ``{key: state}`` as acknowledged.
 
     Every submission in one call shares one ``run_id`` correlation id
     (minted here when the caller has none), which the service journals
     with the entry — the cross-host analogue of the engine's manifest
-    stamp.  Raises :class:`JobRejected` on a validation failure (the
-    sweep is malformed — pushing on would just fail every cell) and
+    stamp.  Each job additionally mints a fresh distributed-trace root
+    (subject to ``REPRO_TRACE_SAMPLE``); the context travels in the
+    payload's ``trace`` field and the ``traceparent`` header, and the
+    submission round trip itself becomes the trace's root span.  Pass a
+    dict as ``trace_contexts`` to receive ``{key: traceparent}`` for the
+    sampled jobs.  Raises :class:`JobRejected` on a validation failure
+    (the sweep is malformed — pushing on would just fail every cell) and
     :class:`ServiceUnavailable` when the server cannot be reached.
     """
     run_id = run_id or new_run_id()
     states: Dict[str, str] = {}
-    for job in jobs:
-        if not job.cacheable:
-            raise JobRejected(
-                f"ad-hoc Program job {job.label!r} has no canonical form "
-                "and cannot be submitted to a service"
-            )
-        payload = dict(job.canonical())
-        payload["run_id"] = run_id
-        response = _post_json(url, "/jobs", payload)
-        if "error" in response:
-            raise JobRejected(f"{job.label}: {response['error']}")
-        states[job.key] = response.get("state", "pending")
-        if stream is not None:
-            tag = "cached" if response.get("cached") else states[job.key]
-            print(f"submitted {job.label}: {tag}", file=stream)
+    recorder = SpanRecorder(directory=resolve_trace_dir(), keep=True,
+                            run_id=run_id)
+    try:
+        for job in jobs:
+            if not job.cacheable:
+                raise JobRejected(
+                    f"ad-hoc Program job {job.label!r} has no canonical form "
+                    "and cannot be submitted to a service"
+                )
+            payload = dict(job.canonical())
+            payload["run_id"] = run_id
+            context = TraceContext.root()
+            span = None
+            headers = None
+            if context.sampled:
+                header = context.to_header()
+                payload["trace"] = header
+                headers = {"traceparent": header}
+                if trace_contexts is not None:
+                    trace_contexts[job.key] = header
+                span = recorder.start("client.submit", context,
+                                      stage="submit", root=True,
+                                      key=job.key, label=job.label)
+            response = _post_json(url, "/jobs", payload, headers=headers)
+            if "error" in response:
+                if span is not None:
+                    recorder.finish(span, status="error")
+                raise JobRejected(f"{job.label}: {response['error']}")
+            states[job.key] = response.get("state", "pending")
+            if span is not None:
+                recorder.finish(span, state=states[job.key],
+                                cached=bool(response.get("cached")))
+            if stream is not None:
+                tag = "cached" if response.get("cached") else states[job.key]
+                print(f"submitted {job.label}: {tag}", file=stream)
+    finally:
+        _ship_spans(url, recorder)
     return states
 
 
@@ -108,35 +151,56 @@ def fetch_results(
     failed: Dict[str, str] = {}
     keys = [job.key for job in jobs]
     announced: Dict[str, str] = {}
-    while True:
-        for job, key in zip(jobs, keys):
-            if key in results or key in failed:
-                continue
-            document = _get_json(url, f"/jobs/{key}")
-            if document is None:
-                continue  # not submitted yet (or evicted): keep polling
-            state = document.get("state")
-            if stream is not None and announced.get(key) != state:
-                announced[key] = state
-                print(f"{job.label}: {state}", file=stream)
-            if state == "done" and document.get("result") is not None:
-                results[key] = SimResult.from_dict(document["result"])
-            elif state == "failed":
-                failed[key] = document.get("reason") or "unknown failure"
-        if failed:
-            details = "; ".join(
-                f"{job.label}: {failed[key]}"
-                for job, key in zip(jobs, keys) if key in failed)
-            raise RemoteJobFailed(details)
-        if len(results) == len(keys):
-            return [results[key] for key in keys]
-        if deadline is not None and time.monotonic() > deadline:
-            missing = [job.label for job, key in zip(jobs, keys)
-                       if key not in results]
-            raise TimeoutError(
-                f"{len(missing)} job(s) still in flight after {timeout}s: "
-                + ", ".join(missing[:5]))
-        _sleep(poll_interval)
+    recorder = SpanRecorder(directory=resolve_trace_dir(), keep=True)
+    poll_started = time.time()
+    try:
+        while True:
+            for job, key in zip(jobs, keys):
+                if key in results or key in failed:
+                    continue
+                document = _get_json(url, f"/jobs/{key}")
+                if document is None:
+                    continue  # not submitted yet (or evicted): keep polling
+                state = document.get("state")
+                if stream is not None and announced.get(key) != state:
+                    announced[key] = state
+                    print(f"{job.label}: {state}", file=stream)
+                if state == "done" and document.get("result") is not None:
+                    results[key] = SimResult.from_dict(document["result"])
+                    _fetch_span(recorder, document, key, poll_started)
+                elif state == "failed":
+                    failed[key] = document.get("reason") or "unknown failure"
+                    _fetch_span(recorder, document, key, poll_started,
+                                status="error")
+            if failed:
+                details = "; ".join(
+                    f"{job.label}: {failed[key]}"
+                    for job, key in zip(jobs, keys) if key in failed)
+                raise RemoteJobFailed(details)
+            if len(results) == len(keys):
+                return [results[key] for key in keys]
+            if deadline is not None and time.monotonic() > deadline:
+                missing = [job.label for job, key in zip(jobs, keys)
+                           if key not in results]
+                raise TimeoutError(
+                    f"{len(missing)} job(s) still in flight after {timeout}s: "
+                    + ", ".join(missing[:5]))
+            _sleep(poll_interval)
+    finally:
+        _ship_spans(url, recorder)
+
+
+def _fetch_span(recorder: SpanRecorder, document: dict, key: str,
+                poll_started: float, status: str = "ok") -> None:
+    """Record the client-side wait for one job reaching a terminal
+    state — from the first poll of this :func:`fetch_results` call to
+    the poll that observed it done (untraced jobs record nothing)."""
+    context = TraceContext.from_header(document.get("trace"))
+    if context is None or not context.sampled:
+        return
+    recorder.emit("client.fetch", context, poll_started, time.time(),
+                  stage="fetch", status=status, key=key,
+                  state=document.get("state"))
 
 
 def queue_snapshot(url: str) -> dict:
@@ -145,3 +209,53 @@ def queue_snapshot(url: str) -> dict:
     if document is None:
         raise ServiceUnavailable("/queue: not found")
     return document
+
+
+def latency_breakdown(url: str, jobs: Sequence[SimJob]) -> Optional[dict]:
+    """Mean per-segment latency (seconds) across ``jobs``.
+
+    Reads each job's ``times`` (queue-journal timestamps exposed by
+    ``GET /jobs/<key>``) and averages the submitted→claimed (queue
+    wait), claimed→done (execution + report), and submitted→done
+    segments.  Returns ``None`` when no job carries all three
+    timestamps — e.g. the whole sweep was served from cache and never
+    touched the queue.
+    """
+    waits: List[float] = []
+    runs: List[float] = []
+    totals: List[float] = []
+    for job in jobs:
+        try:
+            document = _get_json(url, f"/jobs/{job.key}")
+        except ServiceUnavailable:
+            return None
+        times = (document or {}).get("times") or {}
+        stamps = [times.get(name)
+                  for name in ("submitted", "claimed", "finished")]
+        if not all(isinstance(value, (int, float)) for value in stamps):
+            continue
+        submitted, claimed, finished = stamps
+        waits.append(max(0.0, claimed - submitted))
+        runs.append(max(0.0, finished - claimed))
+        totals.append(max(0.0, finished - submitted))
+    if not totals:
+        return None
+    count = len(totals)
+    return {
+        "jobs": count,
+        "queue_wait": sum(waits) / count,
+        "execute": sum(runs) / count,
+        "total": sum(totals) / count,
+    }
+
+
+def render_latency(breakdown: Optional[dict]) -> str:
+    """One-line latency summary for the CLI (empty when no data)."""
+    if not breakdown:
+        return ""
+    return (
+        f"latency: {breakdown['jobs']} job(s) queued, "
+        f"queue-wait {breakdown['queue_wait']:.2f}s, "
+        f"execute {breakdown['execute']:.2f}s, "
+        f"submit->done {breakdown['total']:.2f}s (mean)"
+    )

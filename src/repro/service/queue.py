@@ -65,6 +65,13 @@ class QueueEntry:
     #: Correlation id of the submitting run, echoed on every journal
     #: line for this entry so service records join to run manifests.
     run_id: Optional[str] = None
+    #: The submitting client's traceparent header (distributed tracing);
+    #: handed to the claiming worker so its spans join the same trace.
+    trace: Optional[str] = None
+    #: When the *current* claim was granted (journal ``claim`` ts).
+    claimed: Optional[float] = None
+    #: When the entry went terminal (journal ``complete``/``fail`` ts).
+    finished: Optional[float] = None
 
     def public(self, now: Optional[float] = None) -> dict:
         """The ``GET /jobs/<key>`` / ``GET /queue`` view of this entry."""
@@ -88,6 +95,14 @@ class QueueEntry:
             record["reason"] = self.reason
         if self.run_id is not None:
             record["run_id"] = self.run_id
+        if self.trace is not None:
+            record["trace"] = self.trace
+        times = {"submitted": self.submitted}
+        if self.claimed is not None:
+            times["claimed"] = self.claimed
+        if self.finished is not None:
+            times["finished"] = self.finished
+        record["times"] = times
         return record
 
 
@@ -116,6 +131,11 @@ class JobQueue:
         self._entries: Dict[str, QueueEntry] = {}
         self._order: List[str] = []  # submission order
         self.write_errors = 0
+        #: Optional transition callback ``(event, entry)``, invoked
+        #: fail-soft after claim/complete/fail/requeue journal writes —
+        #: the service server reconstructs queue-phase spans here from
+        #: the entry's journal-derived timestamps.
+        self.observer = None
         os.makedirs(self.directory, exist_ok=True)
         self._replay()
 
@@ -123,8 +143,9 @@ class JobQueue:
     # Journal.
     # ------------------------------------------------------------------
     def _append(self, event: str, key: str, **fields) -> None:
-        if fields.get("run_id") is None:
-            fields.pop("run_id", None)
+        for optional in ("run_id", "trace"):
+            if fields.get(optional) is None:
+                fields.pop(optional, None)
         record = {"event": event, "key": key, "ts": time.time(),
                   "schema": QUEUE_SCHEMA_VERSION}
         record.update(fields)
@@ -181,6 +202,7 @@ class JobQueue:
                     key=key, payload=payload, index=len(self._order),
                     submitted=record.get("ts", 0.0),
                     run_id=record.get("run_id"),
+                    trace=record.get("trace"),
                 )
                 self._entries[key] = entry
                 self._order.append(key)
@@ -191,16 +213,19 @@ class JobQueue:
             entry.state = "running"
             entry.worker = record.get("worker")
             entry.claims += 1
+            entry.claimed = record.get("ts", 0.0)
             entry.lease_deadline = record.get("ts", 0.0) + self.lease_seconds
         elif event == "complete":
             entry.state = "done"
             entry.worker = record.get("worker", entry.worker)
             entry.elapsed = record.get("elapsed")
+            entry.finished = record.get("ts")
             entry.lease_deadline = None
         elif event == "fail":
             entry.state = "failed"
             entry.worker = record.get("worker", entry.worker)
             entry.reason = record.get("reason")
+            entry.finished = record.get("ts")
             entry.lease_deadline = None
         elif event == "requeue":
             entry.state = "pending"
@@ -212,15 +237,18 @@ class JobQueue:
     # Transitions.
     # ------------------------------------------------------------------
     def submit(self, key: str, payload: dict,
-               run_id: Optional[str] = None) -> tuple:
+               run_id: Optional[str] = None,
+               trace: Optional[str] = None) -> tuple:
         """Enqueue a job; idempotent.  Returns ``(entry, created)``.
 
         A duplicate key — same cell submitted twice, by any client —
         returns the existing entry in whatever state it has reached, so
         concurrent identical sweeps coalesce onto one computation.
         ``run_id`` correlates the entry (and its journal lines) with
-        the submitting run's manifest; a duplicate submission keeps the
-        original entry's id.
+        the submitting run's manifest; ``trace`` is the submitter's
+        traceparent header, journaled and handed to the claiming worker
+        so every hop's spans join one trace.  A duplicate submission
+        keeps the original entry's ids.
         """
         with self._lock:
             entry = self._entries.get(key)
@@ -228,13 +256,22 @@ class JobQueue:
                 return entry, False
             entry = QueueEntry(
                 key=key, payload=payload, index=len(self._order),
-                submitted=time.time(), run_id=run_id,
+                submitted=time.time(), run_id=run_id, trace=trace,
             )
             self._entries[key] = entry
             self._order.append(key)
             self._append("submit", key, payload=payload, index=entry.index,
-                         run_id=entry.run_id)
+                         run_id=entry.run_id, trace=entry.trace)
             return entry, True
+
+    def _notify(self, event: str, entry: QueueEntry) -> None:
+        """Tell the observer about a transition (never let it raise)."""
+        if self.observer is None:
+            return
+        try:
+            self.observer(event, entry)
+        except Exception:
+            pass  # observers are passengers, not schedulers
 
     def claim(self, worker: str) -> Optional[QueueEntry]:
         """Lease the oldest pending job to ``worker`` (``None`` if idle)."""
@@ -247,9 +284,11 @@ class JobQueue:
                 entry.state = "running"
                 entry.worker = worker
                 entry.claims += 1
-                entry.lease_deadline = time.time() + self.lease_seconds
+                entry.claimed = time.time()
+                entry.lease_deadline = entry.claimed + self.lease_seconds
                 self._append("claim", key, worker=worker,
                              claims=entry.claims, run_id=entry.run_id)
+                self._notify("claim", entry)
                 return entry
             return None
 
@@ -280,10 +319,12 @@ class JobQueue:
             entry.state = "done"
             entry.worker = worker or entry.worker
             entry.elapsed = elapsed
+            entry.finished = time.time()
             entry.lease_deadline = None
             entry.reason = None
             self._append("complete", key, worker=entry.worker,
                          elapsed=elapsed, run_id=entry.run_id)
+            self._notify("complete", entry)
             return True
 
     def fail(self, key: str, reason: str,
@@ -296,9 +337,11 @@ class JobQueue:
             entry.state = "failed"
             entry.worker = worker or entry.worker
             entry.reason = reason
+            entry.finished = time.time()
             entry.lease_deadline = None
             self._append("fail", key, worker=entry.worker, reason=reason,
                          run_id=entry.run_id)
+            self._notify("fail", entry)
             return True
 
     def expire(self, now: Optional[float] = None) -> int:
@@ -323,6 +366,7 @@ class JobQueue:
                     self._append("requeue", key, reason="lease expired",
                                  requeues=entry.requeues,
                                  run_id=entry.run_id)
+                    self._notify("requeue", entry)
                     expired += 1
         return expired
 

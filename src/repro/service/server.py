@@ -44,13 +44,23 @@ import time
 from typing import Optional
 
 from repro.obs.heartbeat import heartbeat_dir
+from repro.obs.metrics import Histogram
 from repro.obs.server import PrometheusText, TelemetryServer, _json_bytes
+from repro.obs.spans import (
+    LATENCY_BUCKETS,
+    SpanRecorder,
+    TraceContext,
+    read_spans,
+)
 from repro.runtime.cache import ResultCache
 from repro.runtime.job import SimJob
 from repro.service.queue import DEFAULT_LEASE_SECONDS, JobQueue
 
 #: Bump on any change to the service's request/response shapes.
 SERVICE_API_VERSION = 1
+
+#: Cap on span records accepted per ``POST /spans`` request.
+MAX_SPANS_PER_POST = 10_000
 
 
 class ServiceServer(TelemetryServer):
@@ -83,17 +93,80 @@ class ServiceServer(TelemetryServer):
         self.submit_cache_hits = 0
         self.submit_duplicates = 0
         self.submit_rejected = 0
+        # Distributed tracing: the service's spans.jsonl is the
+        # authoritative trace store — workers and clients ship their
+        # spans here (POST /spans), and the queue observer reconstructs
+        # the queue-phase spans from journal-derived timestamps.
+        self.spans = SpanRecorder(directory=self.data_dir)
+        self._span_hist: dict = {}
+        self.spans.observer = self._observe_span
+        self.queue.observer = self._queue_span
+
+    # ------------------------------------------------------------------
+    # Distributed tracing.
+    # ------------------------------------------------------------------
+    def _observe_span(self, record: dict) -> None:
+        """Feed one span into the per-stage latency histograms."""
+        start = record.get("start")
+        end = record.get("end")
+        if not isinstance(start, (int, float)) \
+                or not isinstance(end, (int, float)):
+            return
+        stage = record.get("stage") or "other"
+        histogram = self._span_hist.get(stage)
+        if histogram is None:
+            histogram = self._span_hist[stage] = Histogram(
+                buckets=LATENCY_BUCKETS)
+        histogram.observe(max(0.0, end - start))
+
+    def _queue_span(self, event: str, entry) -> None:
+        """Reconstruct a queue-phase span for one entry transition.
+
+        Called by the queue (fail-soft) right after the journal write;
+        the timestamps come from the entry, which is itself rebuilt
+        from the journal on restart — so a replayed queue produces the
+        same spans a live one would.
+        """
+        context = TraceContext.from_header(entry.trace)
+        if context is None or not context.sampled:
+            return
+        now = time.time()
+        common = {"key": entry.key, "run_id": entry.run_id,
+                  "worker": entry.worker}
+        common = {k: v for k, v in common.items() if v is not None}
+        if event == "claim":
+            # Submission to lease grant: the pure queue-wait phase.
+            self.spans.emit("queue.wait", context, entry.submitted, now,
+                            stage="queue", claims=entry.claims, **common)
+        elif event in ("complete", "fail"):
+            start = entry.claimed if entry.claimed is not None \
+                else entry.submitted
+            self.spans.emit("queue.lease", context, start, now,
+                            stage="queue",
+                            status="ok" if event == "complete" else "error",
+                            **common)
+        elif event == "requeue":
+            start = entry.claimed if entry.claimed is not None \
+                else entry.submitted
+            self.spans.emit("queue.requeue", context, start, now,
+                            stage="queue", status="requeued",
+                            requeues=entry.requeues, **common)
 
     # ------------------------------------------------------------------
     # GET routing.
     # ------------------------------------------------------------------
     def handle(self, request) -> None:
         path = request.path.split("?", 1)[0].rstrip("/") or "/"
+        rid = self._request_id(request)
         try:
             if path == "/queue":
                 self.scrapes += 1
                 self._respond(request, 200, _json_bytes(
                     self.queue.snapshot()), "application/json")
+                return
+            if path == "/spans":
+                self.scrapes += 1
+                self._spans_document(request)
                 return
             if path.startswith("/jobs/"):
                 self.scrapes += 1
@@ -106,19 +179,50 @@ class ServiceServer(TelemetryServer):
         except Exception as error:  # same fail-soft contract as the base
             try:
                 self._respond(request, 500,
-                              _json_bytes({"error": str(error)}),
+                              _json_bytes({"error": str(error),
+                                           "request_id": rid}),
                               "application/json")
             except Exception:
                 pass
             return
         super().handle(request)
 
+    def _spans_document(self, request) -> None:
+        """``GET /spans``: the service's span journal as JSON.
+
+        ``?trace=<id>`` filters to one trace, ``?limit=N`` keeps the
+        newest N records (the journal is append-ordered).
+        """
+        from urllib.parse import parse_qs, urlsplit
+
+        query = parse_qs(urlsplit(request.path).query)
+        records = read_spans(self.data_dir)
+        trace = query.get("trace", [None])[0]
+        if trace:
+            records = [r for r in records if r.get("trace") == trace]
+        limit = query.get("limit", [None])[0]
+        if limit:
+            try:
+                records = records[-max(0, int(limit)):]
+            except ValueError:
+                pass
+        document = {
+            "count": len(records),
+            "spans": records,
+            "write_errors": self.spans.write_errors,
+        }
+        self._respond(request, 200, _json_bytes(document),
+                      "application/json")
+
     def _job_status(self, request, key: str) -> None:
         entry = self.queue.get(key)
         cached = self.cache.load_key(key)
         if entry is None and cached is None:
             self._respond(request, 404,
-                          _json_bytes({"error": f"unknown job {key}"}),
+                          _json_bytes({
+                              "error": f"unknown job {key}",
+                              "request_id": self._request_id(request),
+                          }),
                           "application/json")
             return
         document = {"key": key, "api": SERVICE_API_VERSION}
@@ -136,7 +240,10 @@ class ServiceServer(TelemetryServer):
         payload = self.cache.load_key(key)
         if payload is None:
             self._respond(request, 404,
-                          _json_bytes({"error": f"cache miss for {key}"}),
+                          _json_bytes({
+                              "error": f"cache miss for {key}",
+                              "request_id": self._request_id(request),
+                          }),
                           "application/json")
             return
         self._respond(request, 200, _json_bytes(payload),
@@ -147,13 +254,22 @@ class ServiceServer(TelemetryServer):
     # ------------------------------------------------------------------
     def handle_post(self, request) -> None:
         path = request.path.split("?", 1)[0].rstrip("/") or "/"
+        rid = self._request_id(request)
         try:
             body = self._read_json_body(request)
         except ValueError as error:
             self._respond(request, 400,
-                          _json_bytes({"error": f"bad request body: {error}"}),
+                          _json_bytes({"error": f"bad request body: {error}",
+                                       "request_id": rid}),
                           "application/json")
             return
+        if path == "/jobs":
+            # Trace context rides both the payload ("trace") and the
+            # W3C-style HTTP header; the header fills in when a client
+            # only speaks traceparent.
+            header = request.headers.get("traceparent")
+            if header is not None and "trace" not in body:
+                body["trace"] = header
         try:
             if path == "/jobs":
                 status, document = self._post_job(body)
@@ -165,14 +281,18 @@ class ServiceServer(TelemetryServer):
                 status, document = self._post_fail(body)
             elif path == "/heartbeat":
                 status, document = self._post_heartbeat(body)
+            elif path == "/spans":
+                status, document = self._post_spans(body)
             else:
                 status, document = 404, {
                     "error": f"unknown endpoint {path}",
                     "endpoints": ["/jobs", "/claim", "/complete",
-                                  "/fail", "/heartbeat"],
+                                  "/fail", "/heartbeat", "/spans"],
                 }
         except Exception as error:
             status, document = 500, {"error": str(error)}
+        if status >= 400 and isinstance(document, dict):
+            document.setdefault("request_id", rid)
         try:
             self._respond(request, status, _json_bytes(document),
                           "application/json")
@@ -182,14 +302,20 @@ class ServiceServer(TelemetryServer):
     def _post_job(self, body: dict):
         """Validate, dedupe, and enqueue one submission.
 
-        ``run_id`` in the body is a routing field, not part of the
-        job's canonical form: it is peeled off before validation and
-        recorded on the queue entry for cross-host correlation.
+        ``run_id`` and ``trace`` in the body are routing fields, not
+        part of the job's canonical form: they are peeled off before
+        validation; ``run_id`` correlates the entry with the submitting
+        run, ``trace`` carries the submitter's traceparent so every
+        downstream hop joins the same distributed trace.
         """
         self.submits += 1
         run_id = body.pop("run_id", None)
         if run_id is not None:
             run_id = str(run_id)
+        trace = body.pop("trace", None)
+        context = TraceContext.from_header(trace)
+        # Only a well-formed, sampled context is worth propagating.
+        trace = trace if context is not None and context.sampled else None
         try:
             job = SimJob.from_canonical(body)
             # Resolve the benchmark now so an unknown name is a clean
@@ -206,7 +332,7 @@ class ServiceServer(TelemetryServer):
             self.submit_cache_hits += 1
             return 200, {"key": key, "state": "done", "cached": True}
         entry, created = self.queue.submit(key, job.canonical(),
-                                           run_id=run_id)
+                                           run_id=run_id, trace=trace)
         if not created:
             self.submit_duplicates += 1
         return (202 if created else 200), {
@@ -222,7 +348,7 @@ class ServiceServer(TelemetryServer):
         if entry is None:
             return 200, {"job": None,
                          "depth": self.queue.counts()["pending"]}
-        return 200, {
+        document = {
             "job": entry.payload,
             "key": entry.key,
             "index": entry.index,
@@ -230,6 +356,18 @@ class ServiceServer(TelemetryServer):
             "lease_seconds": self.queue.lease_seconds,
             "run_id": entry.run_id,
         }
+        if entry.trace is not None:
+            document["trace"] = entry.trace
+        return 200, document
+
+    def _post_spans(self, body: dict):
+        """Ingest span records shipped by workers and clients."""
+        records = body.get("spans")
+        if not isinstance(records, list):
+            return 400, {"error": "spans needs a 'spans' list"}
+        accepted = self.spans.ingest(records[:MAX_SPANS_PER_POST])
+        return 200, {"accepted": accepted,
+                     "dropped": len(records) - accepted}
 
     def _post_complete(self, body: dict):
         key = body.get("key")
@@ -304,7 +442,7 @@ class ServiceServer(TelemetryServer):
         document = super().healthz()
         document["endpoints"] = [
             "/metrics", "/jobs", "/jobs/<key>", "/queue", "/cache/<key>",
-            "/runs", "/healthz",
+            "/spans", "/runs", "/healthz",
         ]
         document["role"] = "service"
         return document
@@ -316,6 +454,7 @@ class ServiceServer(TelemetryServer):
         text.sample("exporter.scrapes", "counter", self.scrapes)
         self._queue_metrics(text)
         self._cache_metrics(text)
+        self._span_metrics(text)
         self._heartbeat_metrics(text)
         if self.registry is not None:
             from repro.obs.server import registry_to_prometheus
@@ -341,6 +480,43 @@ class ServiceServer(TelemetryServer):
         requeues = sum(entry.get("requeues", 0)
                        for entry in snapshot["entries"])
         text.sample("service.requeues", "counter", requeues)
+        # Queue-wait (submit -> claim) from journal-derived timestamps:
+        # the latency gap between the submit counters and the worker
+        # heartbeats.
+        waits = []
+        for entry in snapshot["entries"]:
+            times = entry.get("times") or {}
+            if "claimed" in times and "submitted" in times:
+                waits.append(max(0.0, times["claimed"]
+                                 - times["submitted"]))
+        if waits:
+            summary = Histogram.of(waits, buckets=LATENCY_BUCKETS).summary()
+            for q_label, q_key in (("0.5", "p50"), ("0.95", "p95"),
+                                   ("0.99", "p99")):
+                text.sample("service.queue_wait_seconds", "summary",
+                            summary[q_key], quantile=q_label)
+            text.sample("service.queue_wait_seconds_sum", "gauge",
+                        summary["sum"])
+            text.sample("service.queue_wait_seconds_count", "gauge",
+                        summary["count"])
+
+    def _span_metrics(self, text: PrometheusText) -> None:
+        """``repro_service_span_seconds{stage=}``: per-stage latency
+        summaries over every span this server recorded or ingested."""
+        text.sample("service.spans", "counter", self.spans.recorded)
+        text.sample("service.span_write_errors", "counter",
+                    self.spans.write_errors)
+        for stage in sorted(self._span_hist):
+            summary = self._span_hist[stage].summary()
+            for q_label, q_key in (("0.5", "p50"), ("0.95", "p95"),
+                                   ("0.99", "p99")):
+                text.sample("service.span_seconds", "summary",
+                            summary[q_key], quantile=q_label,
+                            stage=stage)
+            text.sample("service.span_seconds_sum", "gauge",
+                        summary["sum"], stage=stage)
+            text.sample("service.span_seconds_count", "gauge",
+                        summary["count"], stage=stage)
 
     def _cache_metrics(self, text: PrometheusText) -> None:
         stats = self.cache.stats

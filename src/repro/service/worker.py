@@ -53,8 +53,10 @@ import urllib.request
 from typing import Optional
 
 from repro.obs.heartbeat import HEARTBEAT_SCHEMA_VERSION
+from repro.obs.spans import SpanRecorder, TraceContext
 from repro.runtime.cache import ResultCache
 from repro.runtime.job import SimJob
+from repro.runtime.settings import resolve_trace_dir
 
 #: Default seconds between claim polls when the queue is empty.
 DEFAULT_POLL_INTERVAL = 1.0
@@ -72,13 +74,17 @@ class ServiceUnavailable(OSError):
 
 
 def _post_json(url: str, path: str, document: dict,
-               timeout: float = REQUEST_TIMEOUT) -> dict:
+               timeout: float = REQUEST_TIMEOUT,
+               headers: Optional[dict] = None) -> dict:
     """One POST round trip; raises :class:`ServiceUnavailable` on trouble."""
     body = json.dumps(document, sort_keys=True).encode("utf-8")
+    merged = {"Content-Type": "application/json"}
+    if headers:
+        merged.update(headers)
     request = urllib.request.Request(
         f"{url.rstrip('/')}{path}",
         data=body,
-        headers={"Content-Type": "application/json"},
+        headers=merged,
         method="POST",
     )
     try:
@@ -133,6 +139,13 @@ class WorkerAgent:
         self.cache_hits = 0
         self.heartbeats = 0
         self.heartbeat_errors = 0
+        # Distributed tracing: spans buffer here and ship to the
+        # service's POST /spans after each job (REPRO_TRACE_DIR adds a
+        # local spans.jsonl).  The cache emits its lookup/store spans
+        # through the same recorder whenever a trace context is active.
+        self.spans = SpanRecorder(directory=resolve_trace_dir(), keep=True)
+        self.span_ship_errors = 0
+        self.cache.tracer = self.spans
 
     def _say(self, message: str) -> None:
         print(f"worker {self.name}: {message}", file=self.stream)
@@ -161,6 +174,7 @@ class WorkerAgent:
             if self.max_jobs is not None and self.jobs_done >= self.max_jobs:
                 self._say(f"done: {self.jobs_done} job(s) executed")
                 return 0
+            claim_started = time.time()
             try:
                 response = self._claim()
             except ServiceUnavailable as error:
@@ -181,13 +195,15 @@ class WorkerAgent:
                 self._sleep(self.poll_interval)
                 continue
             idle_since = None
-            self._handle(response)
+            self._handle(response, claim_started=claim_started)
 
     # ------------------------------------------------------------------
-    def _handle(self, claim: dict) -> None:
+    def _handle(self, claim: dict,
+                claim_started: Optional[float] = None) -> None:
         key = claim.get("key")
         index = claim.get("index", 0)
         attempt = max(0, int(claim.get("claims", 1)) - 1)
+        run_id = claim.get("run_id")
         try:
             job = SimJob.from_canonical(claim["job"])
         except (KeyError, ValueError, TypeError) as error:
@@ -202,31 +218,111 @@ class WorkerAgent:
                                       index=index, attempt=attempt)):
             # Injected abandonment: hold the claim silently until the
             # lease lapses — to the server, a worker killed post-claim.
+            # No spans either: a dead worker records nothing.
             self.jobs_abandoned += 1
             self._say(f"abandoning {job.label} (injected lease expiry)")
             return
         self._say(f"claimed {job.label} (attempt {attempt})")
+        context = TraceContext.from_header(claim.get("trace"))
+        if context is not None and not context.sampled:
+            context = None
+        claim_span = None
+        if context is not None:
+            # Lease-to-claim: from the claim POST leaving this process
+            # to the moment execution actually starts.
+            claim_span = self.spans.start(
+                "worker.claim", context, stage="claim",
+                worker=self.name, attempt=attempt, key=job.key,
+                run_id=run_id)
+            if claim_started is not None:
+                claim_span.start = claim_started
+            self.spans.push(context)
+        try:
+            self._execute(claim, job, key, index, attempt, run_id,
+                          context, claim_span)
+        finally:
+            if context is not None:
+                self.spans.pop()
+                self._ship_spans()
+
+    def _execute(self, claim, job, key, index, attempt, run_id,
+                 context, claim_span) -> None:
+        """Cache-check, run, store, report — span-annotated when traced."""
         cached = self.cache.load(job)
         if cached is not None:
             self.cache_hits += 1
-            self._report_complete(job, cached.to_dict(), elapsed=0.0)
+            if claim_span is not None:
+                self.spans.finish(claim_span, cache_hit=True)
+            self._report_complete(job, cached.to_dict(), elapsed=0.0,
+                                  context=context, run_id=run_id)
             return
         started = time.monotonic()
+        profiler = None
+        sim_span = None
+        if context is not None:
+            self.spans.finish(claim_span, cache_hit=False)
+            # Totals-only profiler: the phase split rides along as
+            # child spans of the simulate span (byte-identical result).
+            from repro.obs.profiler import PhaseProfiler
+
+            profiler = PhaseProfiler(sample_cycles=0)
+            sim_span = self.spans.start(
+                "worker.simulate", context, stage="simulate",
+                worker=self.name, key=job.key, label=job.label,
+                run_id=run_id)
         hook = self._heartbeat_hook(job, index, attempt, started,
-                                    run_id=claim.get("run_id"))
+                                    run_id=run_id)
         try:
             result = job.run(
                 progress_hook=hook if self.heartbeat_cycles else None,
                 progress_interval=self.heartbeat_cycles or 2_000,
+                profiler=profiler,
             )
         except Exception as error:
             # Deterministic simulation error: retrying on another
             # worker would fail identically, so tell the server.
-            self._report_fail(key, f"{type(error).__name__}: {error}")
+            if sim_span is not None:
+                self.spans.finish(sim_span, status="error",
+                                  error=type(error).__name__)
+            self._report_fail(key, f"{type(error).__name__}: {error}",
+                              context=context, run_id=run_id)
             return
         elapsed = time.monotonic() - started
+        if sim_span is not None:
+            self.spans.finish(sim_span, ipc=result.ipc)
+            self._phase_spans(context, sim_span, profiler, run_id)
         self.cache.store(job, result, elapsed=elapsed)
-        self._report_complete(job, result.to_dict(), elapsed=elapsed)
+        self._report_complete(job, result.to_dict(), elapsed=elapsed,
+                              context=context, run_id=run_id)
+
+    def _phase_spans(self, context, sim_span, profiler, run_id) -> None:
+        """The profiler's phase split as children of the simulate span,
+        laid head-to-tail from its start (speedscope-style)."""
+        from repro.obs.profiler import PHASES
+
+        parent = TraceContext(context.trace_id, sim_span.span_id,
+                              sampled=True)
+        at = sim_span.start
+        for phase in PHASES:
+            seconds = profiler.seconds.get(phase, 0.0)
+            if seconds <= 0.0:
+                continue
+            self.spans.emit(f"phase.{phase}", parent, at, at + seconds,
+                            stage="phase", worker=self.name,
+                            run_id=run_id)
+            at += seconds
+
+    def _ship_spans(self) -> None:
+        """POST buffered spans to the service (best-effort)."""
+        records = self.spans.drain()
+        if not records:
+            return
+        try:
+            _post_json(self.url, "/spans",
+                       {"spans": records, "worker": self.name},
+                       timeout=5.0)
+        except ServiceUnavailable:
+            self.span_ship_errors += 1
 
     def _heartbeat_hook(self, job: SimJob, index: int, attempt: int,
                         started: float, run_id=None):
@@ -258,7 +354,13 @@ class WorkerAgent:
         return beat
 
     def _report_complete(self, job: SimJob, result: dict,
-                         elapsed: float) -> None:
+                         elapsed: float, context=None,
+                         run_id=None) -> None:
+        span = None
+        if context is not None:
+            span = self.spans.start("worker.report", context,
+                                    stage="report", worker=self.name,
+                                    key=job.key, run_id=run_id)
         try:
             _post_json(self.url, "/complete", {
                 "key": job.key,
@@ -267,20 +369,33 @@ class WorkerAgent:
                 "elapsed": elapsed,
             })
             self.jobs_done += 1
+            if span is not None:
+                self.spans.finish(span)
             self._say(f"completed {job.label} in {elapsed:.2f}s")
         except ServiceUnavailable as error:
             # The lease will expire and the job re-queue; our local
             # cache keeps the work so the re-execution is instant here.
+            if span is not None:
+                self.spans.finish(span, status="error")
             self._say(f"could not report completion ({error})")
 
-    def _report_fail(self, key, reason: str) -> None:
+    def _report_fail(self, key, reason: str, context=None,
+                     run_id=None) -> None:
         self.jobs_failed += 1
         self._say(f"job failed: {reason}")
         if key is None:
             return
+        span = None
+        if context is not None:
+            span = self.spans.start("worker.report", context,
+                                    stage="report", worker=self.name,
+                                    key=key, run_id=run_id)
         try:
             _post_json(self.url, "/fail", {
                 "key": key, "worker": self.name, "reason": reason,
             })
+            if span is not None:
+                self.spans.finish(span)
         except ServiceUnavailable:
-            pass
+            if span is not None:
+                self.spans.finish(span, status="error")
