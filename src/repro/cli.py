@@ -279,6 +279,18 @@ def _build_parser() -> argparse.ArgumentParser:
     service.add_argument("--cache-dir", default=None, metavar="DIR",
                          help="result-cache root served to clients "
                               "(default $REPRO_CACHE_DIR)")
+    service.add_argument("--max-depth", type=int, default=None, metavar="N",
+                         help="shed submissions with 429 + Retry-After "
+                              "once N jobs are pending+running "
+                              "(default $REPRO_QUEUE_LIMIT; unbounded)")
+    service.add_argument("--drain-grace", type=float, default=10.0,
+                         metavar="S",
+                         help="seconds SIGTERM waits for in-flight jobs "
+                              "to land before stopping (default 10)")
+    service.add_argument("--fault-plan", default=None, metavar="PATH",
+                         help="inject a deterministic FaultPlan into the "
+                              "queue journal and cache store "
+                              "(disk.full chaos testing)")
 
     worker = sub.add_parser(
         "worker",
@@ -303,6 +315,11 @@ def _build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--fault-plan", default=None, metavar="PATH",
                         help="inject a deterministic FaultPlan "
                              "(worker.lease_expire chaos testing)")
+    worker.add_argument("--outage-grace", type=float, default=0.0,
+                        metavar="S",
+                        help="keep polling through a service outage for "
+                             "S seconds before exiting (default 0 = "
+                             "exit on first exhausted retry budget)")
 
     def add_matrix(p):
         p.add_argument("url", nargs="?", default=None,
@@ -337,6 +354,43 @@ def _build_parser() -> argparse.ArgumentParser:
     add_matrix(fetch)
     fetch.add_argument("--timeout", type=float, default=None, metavar="S",
                        help="give up after S seconds of polling")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="soak the service tier under a combined fault plan: "
+             "server SIGKILL + restart, worker crashes, dropped "
+             "responses, 5xx bursts, disk.full (see docs/RESILIENCE.md)")
+    chaos.add_argument("--workdir", default=None, metavar="DIR",
+                       help="scratch directory for server data, caches, "
+                            "and the fault plan (default: a temp dir)")
+    chaos.add_argument("--benchmarks", default=None, metavar="A,B,...",
+                       help="comma-separated benchmarks "
+                            "(default: four of the paper's six)")
+    chaos.add_argument("--strategies", default=None, metavar="A,B,...",
+                       help="comma-separated strategies "
+                            "(default: base,fdrt)")
+    chaos.add_argument("--machine", choices=sorted(_MACHINES),
+                       default="base", help="machine variant")
+    chaos.add_argument("--instructions", type=int, default=8_000)
+    chaos.add_argument("--warmup", type=int, default=15_000)
+    chaos.add_argument("--seed", type=int, default=None,
+                       help="workload replicate seed")
+    chaos.add_argument("--plan-seed", type=int, default=1234, metavar="N",
+                       help="fault-plan seed (default 1234; same seed = "
+                            "same faults, replayable)")
+    chaos.add_argument("--workers", type=int, default=3, metavar="N",
+                       help="worker fleet size (default 3)")
+    chaos.add_argument("--max-depth", type=int, default=None, metavar="N",
+                       help="queue-depth bound for the backpressure "
+                            "check (default: jobs - 3)")
+    chaos.add_argument("--lease", type=float, default=4.0, metavar="S",
+                       help="server lease seconds (default 4; short so "
+                            "killed workers re-queue fast)")
+    chaos.add_argument("--quick", action="store_true",
+                       help="CI sizing: smaller matrix, 2 workers, "
+                            "1 worker kill")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the report as JSON")
 
     spans = sub.add_parser(
         "spans",
@@ -896,36 +950,69 @@ def _render_remote_table(benchmarks, specs, jobs, results) -> str:
     return table.render()
 
 
+def _load_fault_plan(path):
+    """Load a FaultPlan file for a CLI flag (None passes through)."""
+    if not path:
+        return None
+    from repro.resilience import FaultPlan
+
+    return FaultPlan.from_file(path)
+
+
 def _cmd_service(args) -> int:
     import signal
     import time as _time
 
     from repro.runtime import ResultCache
+    from repro.runtime.settings import resolve_queue_limit
     from repro.service import DEFAULT_LEASE_SECONDS, ServiceServer
 
+    try:
+        faults = _load_fault_plan(args.fault_plan)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot load --fault-plan {args.fault_plan}: "
+              f"{error}", file=sys.stderr)
+        return 2
     cache = ResultCache(root=args.cache_dir, remote=False)
     server = ServiceServer(
         args.data_dir, port=args.port, host=args.host, cache=cache,
         lease_seconds=(args.lease if args.lease is not None
                        else DEFAULT_LEASE_SECONDS),
+        max_depth=resolve_queue_limit(args.max_depth),
+        faults=faults,
     )
-    signal.signal(signal.SIGTERM,
-                  lambda *_: (_ for _ in ()).throw(KeyboardInterrupt()))
+    # SIGTERM = graceful drain: stop granting claims, shed new
+    # submissions, give in-flight completions --drain-grace seconds to
+    # land (journaled), then stop.  SIGINT stays an immediate stop.
+    draining = []
+    signal.signal(signal.SIGTERM, lambda *_: draining.append(True))
     url = server.start()
     counts = server.queue.counts()
     resumed = counts["pending"] + counts["running"]
     print(f"service: {url} (data: {server.data_dir}, "
           f"cache: {server.cache.root}, "
           f"{server.cache.shards} shards, "
-          f"lease {server.queue.lease_seconds:.0f}s)")
+          f"lease {server.queue.lease_seconds:.0f}s"
+          + (f", max depth {server.max_depth}"
+             if server.max_depth is not None else "")
+          + ")")
     if resumed:
         print(f"resumed {resumed} unfinished job(s) from the queue "
               f"journal")
     print("endpoints: POST /jobs, GET /jobs/<key>, GET /queue, "
           "GET /cache/<key>, GET /metrics  (ctrl-c to stop)")
     try:
-        while True:
-            _time.sleep(3600)
+        while not draining:
+            _time.sleep(0.2)
+        server.drain()
+        print("SIGTERM: draining (no new claims; waiting up to "
+              f"{args.drain_grace:.0f}s for in-flight jobs)",
+              file=sys.stderr)
+        deadline = _time.monotonic() + max(0.0, args.drain_grace)
+        while _time.monotonic() < deadline:
+            if server.queue.counts()["running"] == 0:
+                break
+            _time.sleep(0.2)
     except KeyboardInterrupt:
         pass
     finally:
@@ -940,22 +1027,54 @@ def _cmd_worker(args) -> int:
     url = _resolve_url(args)
     if url is None:
         return 2
-    faults = None
-    if args.fault_plan:
-        from repro.resilience import FaultPlan
-
-        try:
-            faults = FaultPlan.from_file(args.fault_plan)
-        except (OSError, ValueError) as error:
-            print(f"error: cannot load --fault-plan {args.fault_plan}: "
-                  f"{error}", file=sys.stderr)
-            return 2
+    try:
+        faults = _load_fault_plan(args.fault_plan)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot load --fault-plan {args.fault_plan}: "
+              f"{error}", file=sys.stderr)
+        return 2
     agent = WorkerAgent(
         url, name=args.name, poll_interval=args.poll,
         max_jobs=args.max_jobs, max_idle=args.max_idle,
         heartbeat_cycles=args.heartbeat_cycles, faults=faults,
+        outage_grace=args.outage_grace,
     )
     return agent.run()
+
+
+def _cmd_chaos(args) -> int:
+    import json as _json
+    import tempfile
+
+    from repro.service.chaos import run_chaos_soak
+
+    if args.benchmarks is None:
+        from repro.workloads.suites import SPECINT2000_SELECTED
+
+        count = 2 if args.quick else 4
+        args.benchmarks = ",".join(list(SPECINT2000_SELECTED)[:count])
+    if args.strategies is None:
+        args.strategies = "base,fdrt"
+    try:
+        _benchmarks, _specs, jobs = _matrix_cells(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    report = run_chaos_soak(
+        jobs, workdir,
+        seed=args.plan_seed,
+        workers=args.workers,
+        lease_seconds=args.lease,
+        max_depth=args.max_depth,
+        quick=args.quick,
+        stream=sys.stderr,
+    )
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_submit(args) -> int:
@@ -1446,6 +1565,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "worker": _cmd_worker,
         "submit": _cmd_submit,
         "fetch": _cmd_fetch,
+        "chaos": _cmd_chaos,
         "spans": _cmd_spans,
         "cache": _cmd_cache,
         "profile": _cmd_profile,

@@ -500,13 +500,20 @@ class TelemetryServer:
     def _request_id(request) -> str:
         """The per-request correlation id, minted on first use.
 
-        Stamped onto every response as ``X-Repro-Request-Id`` (see
-        :meth:`_respond`) and echoed in 4xx/5xx JSON bodies so a
-        client-side error pairs with the server's view of the request.
+        A client-supplied ``X-Repro-Request-Id`` header is adopted
+        verbatim (truncated sane), so a retried request keeps one id
+        end-to-end — the service layer keys its idempotent-replay cache
+        on exactly this.  Stamped onto every response as
+        ``X-Repro-Request-Id`` (see :meth:`_respond`) and echoed in
+        4xx/5xx JSON bodies so a client-side error pairs with the
+        server's view of the request.
         """
         rid = getattr(request, "repro_request_id", None)
         if rid is None:
-            rid = uuid.uuid4().hex[:16]
+            inbound = request.headers.get("X-Repro-Request-Id")
+            if inbound:
+                rid = "".join(ch for ch in inbound if ch.isalnum())[:64]
+            rid = rid or uuid.uuid4().hex[:16]
             request.repro_request_id = rid
         return rid
 
@@ -581,13 +588,16 @@ class TelemetryServer:
 
     @staticmethod
     def _respond(request, status: int, body: bytes,
-                 content_type: str) -> None:
+                 content_type: str,
+                 headers: Optional[Dict[str, str]] = None) -> None:
         request.send_response(status)
         request.send_header("Content-Type", content_type)
         request.send_header("Content-Length", str(len(body)))
         rid = getattr(request, "repro_request_id", None)
         if rid is not None:
             request.send_header("X-Repro-Request-Id", rid)
+        for name, value in (headers or {}).items():
+            request.send_header(name, str(value))
         request.end_headers()
         request.wfile.write(body)
 

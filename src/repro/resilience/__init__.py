@@ -16,6 +16,14 @@ instead of hopefully so (see ``docs/RESILIENCE.md``):
   checkpoint/resume: replay completed cells from ``events.jsonl`` +
   the result cache and execute only the remainder
   (:mod:`repro.resilience.resume`); ``repro sweep --resume DIR``.
+* :class:`ChaosProxy` — an in-process HTTP proxy that injects the
+  :data:`HTTP_FAULT_SITES` (dropped responses, delays, 5xx bursts,
+  torn bodies) between service clients and the server
+  (:mod:`repro.resilience.chaosproxy`); ``repro chaos`` drives it.
+* :func:`deterministic_jitter` / :class:`CircuitBreaker` — RNG-free
+  retry spreading and per-endpoint failure gating
+  (:mod:`repro.resilience.retry`), shared by the engine backoff and
+  the service transport.
 
 Quickstart::
 
@@ -28,10 +36,12 @@ Quickstart::
     print(engine.report.render())   # ... 1 retried ...
 """
 
+from repro.resilience.chaosproxy import ChaosProxy
 from repro.resilience.faults import (
     CRASH_EXIT_CODE,
     FAULT_PLAN_SCHEMA_VERSION,
     FAULT_SITES,
+    HTTP_FAULT_SITES,
     FaultPlan,
     FaultSpec,
     InjectedCrash,
@@ -39,18 +49,28 @@ from repro.resilience.faults import (
     InjectedHang,
 )
 from repro.resilience.resume import ResumeState, load_resume_state
+from repro.resilience.retry import (
+    BREAKER_COOLDOWN_CAP,
+    CircuitBreaker,
+    deterministic_jitter,
+)
 from repro.resilience.watchdog import reap_executor, worker_processes
 
 __all__ = [
+    "BREAKER_COOLDOWN_CAP",
     "CRASH_EXIT_CODE",
+    "ChaosProxy",
+    "CircuitBreaker",
     "FAULT_PLAN_SCHEMA_VERSION",
     "FAULT_SITES",
     "FaultPlan",
     "FaultSpec",
+    "HTTP_FAULT_SITES",
     "InjectedCrash",
     "InjectedFault",
     "InjectedHang",
     "ResumeState",
+    "deterministic_jitter",
     "load_resume_state",
     "reap_executor",
     "worker_processes",

@@ -39,11 +39,40 @@ Fault sites (:data:`FAULT_SITES`):
     Matched on ``(index, attempt)`` where ``index`` is the job's queue
     position and ``attempt`` is how many claims preceded this one.
 
-Worker sites match deterministically on ``(index, attempt)`` — the
-engine threads both into the worker — so the same plan always faults
-the same cell on the same retry round, with no cross-process counters.
-Parent-side sites fire up to ``times`` occurrences, counted in the
-(single-threaded) parent.
+Service-tier sites (see ``docs/RESILIENCE.md``) extend the same plan
+vocabulary across process and network boundaries:
+
+``http.drop_response``
+    The :class:`~repro.resilience.ChaosProxy` forwards the request to
+    the upstream server — the mutation *is applied* — then severs the
+    connection without replying, so the client sees a dead socket
+    exactly where an idempotent retry is the only correct move.
+``http.delay``
+    The proxy holds the request ``seconds`` before forwarding (slow
+    link; exercises timeouts and deadline propagation).
+``http.error_5xx``
+    The proxy answers 503 without forwarding (overloaded or crashing
+    middlebox; exercises bounded 5xx retry).
+``http.truncate_body``
+    The proxy forwards, then sends headers advertising the full body
+    but writes only half of it (torn response; the client must treat
+    it as a connection failure, never parse garbage).
+``server.crash``
+    The ``repro chaos`` harness SIGKILLs the service server once the
+    queue's ``done`` count reaches ``index``, then restarts it on the
+    same data directory — journal replay must resume the run.
+``disk.full``
+    :class:`~repro.service.JobQueue` journal appends (and cache
+    stores) raise ``ENOSPC`` at the matched append ordinal; the server
+    must degrade to read-only instead of corrupting state.
+
+For HTTP sites ``index`` is the proxy's request ordinal (``None`` =
+any request) and ``path`` scopes the spec to request paths with that
+prefix.  Worker sites match deterministically on ``(index, attempt)``
+— the engine threads both into the worker — so the same plan always
+faults the same cell on the same retry round, with no cross-process
+counters.  Parent-side sites fire up to ``times`` occurrences, counted
+in the (single-threaded) parent.
 """
 
 from __future__ import annotations
@@ -57,7 +86,12 @@ import time
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 #: Bump on any change to the plan's canonical serialisation.
-FAULT_PLAN_SCHEMA_VERSION = 1
+#: v2 adds the optional per-spec ``path`` scope for HTTP sites; v1
+#: documents still load (the field defaults to "any path").
+FAULT_PLAN_SCHEMA_VERSION = 2
+
+#: Schema versions :meth:`FaultPlan.from_dict` accepts.
+_ACCEPTED_SCHEMAS = (1, FAULT_PLAN_SCHEMA_VERSION)
 
 #: Every site a FaultSpec may name, and where it is evaluated.
 FAULT_SITES = (
@@ -67,6 +101,20 @@ FAULT_SITES = (
     "telemetry.write",  # TelemetryWriter appends + manifest (parent)
     "pool.create",      # ExperimentEngine._make_pool (parent)
     "worker.lease_expire",  # service WorkerAgent abandons a claimed job
+    "http.drop_response",   # ChaosProxy: applied upstream, reply lost
+    "http.delay",           # ChaosProxy: slow link before forwarding
+    "http.error_5xx",       # ChaosProxy: 503 without forwarding
+    "http.truncate_body",   # ChaosProxy: torn response body
+    "server.crash",         # chaos harness: SIGKILL + restart the server
+    "disk.full",            # JobQueue journal / cache store ENOSPC
+)
+
+#: The subset of sites evaluated by the in-process HTTP chaos proxy.
+HTTP_FAULT_SITES = (
+    "http.drop_response",
+    "http.delay",
+    "http.error_5xx",
+    "http.truncate_body",
 )
 
 #: Exit status of a worker killed by an injected crash (picked outside
@@ -97,7 +145,11 @@ class FaultSpec:
     ``index``/``attempt`` scope worker sites to one (job, retry-round)
     pair; ``None`` matches any.  ``times`` bounds parent-side sites to
     the first N occurrences.  ``seconds`` is the hang duration (only
-    ``worker.hang`` reads it).
+    ``worker.hang`` and ``http.delay`` read it).  ``path`` scopes HTTP
+    sites to request paths with that prefix (``None`` = any path) —
+    for HTTP sites ``index`` means the proxy's request ordinal, and
+    ``server.crash``/``disk.full`` read it as the done-count /
+    journal-append ordinal to fire on.
     """
 
     site: str
@@ -105,6 +157,7 @@ class FaultSpec:
     attempt: Optional[int] = 0
     times: int = 1
     seconds: float = 3600.0
+    path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.site not in FAULT_SITES:
@@ -113,7 +166,8 @@ class FaultSpec:
                 f"(choices: {', '.join(FAULT_SITES)})"
             )
 
-    def matches(self, index: Optional[int], attempt: Optional[int]) -> bool:
+    def matches(self, index: Optional[int], attempt: Optional[int],
+                path: Optional[str] = None) -> bool:
         """True when this spec applies to the hook's coordinates.
 
         A constraint is enforced only when the hook supplies that
@@ -127,6 +181,9 @@ class FaultSpec:
             return False
         if (self.attempt is not None and attempt is not None
                 and attempt != self.attempt):
+            return False
+        if (self.path is not None and path is not None
+                and not path.startswith(self.path)):
             return False
         return True
 
@@ -177,7 +234,7 @@ class FaultPlan:
     @classmethod
     def from_dict(cls, document: dict) -> "FaultPlan":
         schema = document.get("schema", FAULT_PLAN_SCHEMA_VERSION)
-        if schema != FAULT_PLAN_SCHEMA_VERSION:
+        if schema not in _ACCEPTED_SCHEMAS:
             raise ValueError(f"unsupported fault-plan schema {schema!r}")
         return cls(
             specs=[FaultSpec.from_dict(s) for s in document.get("specs", [])],
@@ -210,9 +267,52 @@ class FaultPlan:
                                        index=index, attempt=0))
         return cls(specs=specs, seed=seed)
 
+    @classmethod
+    def http_scatter(
+        cls,
+        seed: int,
+        nrequests: int,
+        rate: float = 0.1,
+        sites: Sequence[str] = ("http.drop_response",),
+        path: Optional[str] = None,
+    ) -> "FaultPlan":
+        """Seeded plan faulting ~``rate`` of the first ``nrequests``
+        proxy request ordinals.
+
+        HTTP specs pin ``index`` (the ordinal) with ``attempt=None`` —
+        a retried request gets a fresh ordinal, so a single spec never
+        chases one logical request forever.  Deterministic in ``seed``.
+        """
+        rng = random.Random(seed)
+        specs = []
+        for ordinal in range(nrequests):
+            if rng.random() < rate:
+                specs.append(FaultSpec(site=rng.choice(list(sites)),
+                                       index=ordinal, attempt=None,
+                                       path=path, seconds=0.2))
+        return cls(specs=specs, seed=seed)
+
     # ------------------------------------------------------------------
     # Hook points.
     # ------------------------------------------------------------------
+    def fire(self, site: str, index: Optional[int] = None,
+             attempt: Optional[int] = None,
+             path: Optional[str] = None) -> Optional[FaultSpec]:
+        """The matched spec for ``site`` with budget left, else None.
+
+        Consumes one unit of the matched spec's ``times`` budget.  The
+        spec itself is returned so sites with parameters (``seconds``
+        on ``http.delay``) can read them.
+        """
+        for position, spec in enumerate(self.specs):
+            if spec.site != site or not spec.matches(index, attempt, path):
+                continue
+            if self._fired[position] >= spec.times:
+                continue
+            self._fired[position] += 1
+            return spec
+        return None
+
     def fires(self, site: str, index: Optional[int] = None,
               attempt: Optional[int] = None) -> bool:
         """True when a spec for ``site`` matches and has budget left.
@@ -221,14 +321,7 @@ class FaultPlan:
         :meth:`maybe_fail_worker`, whose matching is purely positional
         so no counter state needs to cross the process boundary.
         """
-        for position, spec in enumerate(self.specs):
-            if spec.site != site or not spec.matches(index, attempt):
-                continue
-            if self._fired[position] >= spec.times:
-                continue
-            self._fired[position] += 1
-            return True
-        return False
+        return self.fire(site, index, attempt) is not None
 
     def _worker_spec(self, site: str, index: Optional[int],
                      attempt: Optional[int]) -> Optional[FaultSpec]:

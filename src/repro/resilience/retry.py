@@ -1,0 +1,136 @@
+"""Deterministic retry primitives shared by the engine and the service.
+
+Two building blocks, both pure functions of their inputs — no
+``random`` module state, no wall-clock coupling — so chaos runs stay
+replayable and a restarting fleet spreads itself out *predictably*:
+
+* :func:`deterministic_jitter` — scale a base delay into ``base ×
+  (1 ± spread)`` from a SHA-256 hash of ``(key, attempt)``.  Two agents
+  with different keys (worker names, run ids) land on different delays;
+  the same agent always lands on the same one.  This is what keeps a
+  fleet restarting after a ``server.crash`` from thundering-herding
+  ``/claim`` while staying bit-reproducible.
+* :class:`CircuitBreaker` — a per-endpoint three-state breaker
+  (closed → open → half-open) with deterministic half-open probing:
+  after ``threshold`` consecutive failures the endpoint is shut for a
+  cooldown that doubles per open (jittered by the breaker's own name,
+  capped), then exactly one probe request is let through; success
+  closes the breaker, failure reopens it with a longer cooldown.
+
+Used by :class:`repro.service.transport.ServiceTransport` (every client
+and worker HTTP round trip) and the
+:class:`~repro.runtime.executor.ExperimentEngine` retry ladder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from typing import Callable
+
+#: Upper bound on any single breaker cooldown, seconds.
+BREAKER_COOLDOWN_CAP = 30.0
+
+
+def deterministic_jitter(key: str, attempt: int, base: float,
+                         spread: float = 0.25) -> float:
+    """``base`` scaled into ``base * (1 ± spread)`` by hash, not RNG.
+
+    The scale factor is a pure function of ``(key, attempt)``: the
+    leading 4 bytes of ``SHA-256(f"{key}:{attempt}")`` mapped onto
+    ``[-spread, +spread]``.  ``base <= 0`` short-circuits to ``0.0``.
+    """
+    if base <= 0.0:
+        return 0.0
+    digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+    fraction = int.from_bytes(digest[:4], "big") / 0xFFFFFFFF
+    return base * (1.0 + spread * (2.0 * fraction - 1.0))
+
+
+class CircuitBreaker:
+    """Per-endpoint failure gate with deterministic half-open probing.
+
+    States:
+
+    ``closed``
+        All requests pass.  ``threshold`` *consecutive* failures trip
+        the breaker open.
+    ``open``
+        :meth:`allow` returns False until the cooldown elapses.  The
+        cooldown is ``cooldown × 2^(opens-1)``, jittered ±25% by the
+        breaker's name (so two breakers tripped together do not probe
+        together), capped at ``BREAKER_COOLDOWN_CAP``.
+    ``half-open``
+        Exactly one probe request is allowed through.  Its success
+        closes the breaker; its failure reopens it with the next,
+        longer cooldown.
+
+    Thread-safe; the clock is injectable for tests.
+    """
+
+    def __init__(self, name: str = "", threshold: int = 4,
+                 cooldown: float = 1.0,
+                 max_cooldown: float = BREAKER_COOLDOWN_CAP,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.name = name
+        self.threshold = max(1, int(threshold))
+        self.cooldown = max(0.0, float(cooldown))
+        self.max_cooldown = max(0.0, float(max_cooldown))
+        self.clock = clock
+        self.state = "closed"
+        self.failures = 0       # consecutive failures while closed
+        self.opens = 0          # lifetime trips, drives the cooldown ladder
+        self.rejected = 0       # requests turned away while open
+        self._probe_at = 0.0
+        self._probing = False
+        self._lock = threading.Lock()
+
+    def allow(self) -> bool:
+        """True when a request may go out (closed, or the one probe)."""
+        with self._lock:
+            if self.state == "closed":
+                return True
+            if self._probing:
+                self.rejected += 1
+                return False
+            if self.clock() >= self._probe_at:
+                self.state = "half-open"
+                self._probing = True
+                return True
+            self.rejected += 1
+            return False
+
+    def probe_in(self) -> float:
+        """Seconds until the next half-open probe (0 when closed)."""
+        with self._lock:
+            if self.state == "closed":
+                return 0.0
+            return max(0.0, self._probe_at - self.clock())
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.state = "closed"
+            self.failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+            tripped = (self.state == "half-open"
+                       or self.failures >= self.threshold)
+            if not tripped:
+                return
+            self.opens += 1
+            base = min(self.cooldown * (2 ** (self.opens - 1)),
+                       self.max_cooldown)
+            delay = deterministic_jitter(self.name or "breaker",
+                                         self.opens, base)
+            self._probe_at = self.clock() + delay
+            self.state = "open"
+            self._probing = False
+            self.failures = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CircuitBreaker({self.name!r}, state={self.state}, "
+                f"opens={self.opens})")

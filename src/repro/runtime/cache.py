@@ -415,6 +415,13 @@ class ResultCache:
             with open(path, "w", encoding="utf-8") as handle:
                 handle.write('{"schema": ')
             return
+        if (self.faults is not None
+                and self.faults.fire("disk.full", path="cache") is not None):
+            # Injected full disk: fail exactly like the real thing.  No
+            # partial entry is left — the atomic-rename discipline
+            # below never was reached, which is the point: disk
+            # pressure loses a store, never tears one.
+            raise OSError(28, "injected disk.full (cache store)")
         payload = {
             "schema": JOB_SCHEMA_VERSION,
             "job": job.canonical(),

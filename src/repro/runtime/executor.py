@@ -778,15 +778,21 @@ class ExperimentEngine:
                    reason=reason)
 
     def _backoff(self, round_number: int, report) -> None:
-        """Deterministic exponential backoff between retry rounds.
+        """Deterministically *jittered* exponential backoff between
+        retry rounds.
 
-        No jitter on purpose: chaos runs must be exactly reproducible,
-        and the engine's workers are its own, so thundering-herd
-        concerns don't apply.
+        The jitter is a hash of ``(run_id, round)`` into ±25% — no
+        wall-clock randomness, so chaos runs replay exactly (same
+        run_id, same sleeps), yet concurrent engines retrying against
+        one shared service don't stampede in lockstep.
         """
         if self.backoff <= 0:
             return
-        delay = min(self.backoff * (2 ** (round_number - 1)), _BACKOFF_CAP)
+        from repro.resilience.retry import deterministic_jitter
+
+        base = min(self.backoff * (2 ** (round_number - 1)), _BACKOFF_CAP)
+        delay = deterministic_jitter(
+            f"engine:{self.run_id or 'local'}", round_number, base)
         report.backoff_seconds += delay
         _sleep(delay)
 

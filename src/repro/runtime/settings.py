@@ -62,6 +62,11 @@ Environment variables:
     Directory where service clients and workers additionally append
     their own ``spans.jsonl`` (they always ship spans to the service's
     ``POST /spans``).  Default: no local span file.
+``REPRO_QUEUE_LIMIT``
+    Maximum number of *non-terminal* entries the service queue accepts
+    before new submissions are shed with ``429 Too Many Requests`` +
+    ``Retry-After`` (load shedding; see ``docs/RESILIENCE.md``).
+    Default: unbounded.
 """
 
 from __future__ import annotations
@@ -297,6 +302,27 @@ def resolve_trace_dir(
     if explicit is not None:
         return os.fspath(explicit)
     return os.environ.get("REPRO_TRACE_DIR") or None
+
+
+def resolve_queue_limit(explicit: Optional[int] = None) -> Optional[int]:
+    """Resolve the service queue-depth bound (``None`` = unbounded).
+
+    The bound counts non-terminal entries (pending + running): a full
+    queue sheds *new* submissions with 429 + ``Retry-After`` while
+    still answering duplicates and cache hits.
+    """
+    value = explicit
+    if value is None:
+        value = os.environ.get("REPRO_QUEUE_LIMIT")
+    if value is None or value == "":
+        return None
+    try:
+        limit = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid queue limit {value!r}: expected an integer"
+        ) from None
+    return limit if limit > 0 else None
 
 
 def resolve_backoff(explicit: Optional[float] = None) -> float:

@@ -19,7 +19,15 @@ speed afterwards.
   (:mod:`repro.service.worker`);
 * :func:`submit_jobs` / :func:`fetch_results` — the client helpers
   behind ``repro submit`` / ``repro fetch``
-  (:mod:`repro.service.client`).
+  (:mod:`repro.service.client`);
+* :class:`ServiceTransport` — the hardened HTTP client every agent
+  shares: idempotent retries keyed on ``X-Repro-Request-Id``,
+  per-endpoint circuit breakers, deterministic backoff jitter,
+  ``Retry-After`` honoring (:mod:`repro.service.transport`);
+* :func:`run_chaos_soak` / :class:`ChaosReport` — the ``repro chaos``
+  soak harness: a pinned job matrix pushed through server + workers
+  under a combined fault plan, asserting zero lost jobs and
+  byte-identical results (:mod:`repro.service.chaos`).
 
 Results are byte-identical whether a cell is computed inline, by a
 local pool, or by a remote worker — the service only moves *where*
@@ -28,6 +36,7 @@ local pool, or by a remote worker — the service only moves *where*
 cache sharding/eviction design.
 """
 
+from repro.service.chaos import ChaosReport, run_chaos_soak
 from repro.service.client import (
     JobRejected,
     RemoteJobFailed,
@@ -41,23 +50,28 @@ from repro.service.queue import (
     DEFAULT_LEASE_SECONDS,
     JobQueue,
     QueueEntry,
+    QueueReadOnly,
 )
 from repro.service.server import SERVICE_API_VERSION, ServiceServer
+from repro.service.transport import ServiceTransport
 from repro.service.worker import ServiceUnavailable, WorkerAgent
 
 __all__ = [
+    "ChaosReport",
     "DEFAULT_LEASE_SECONDS",
     "JobQueue",
     "JobRejected",
     "QueueEntry",
+    "QueueReadOnly",
     "RemoteJobFailed",
     "SERVICE_API_VERSION",
     "ServiceServer",
+    "ServiceTransport",
     "ServiceUnavailable",
     "WorkerAgent",
     "fetch_results",
     "latency_breakdown",
     "queue_snapshot",
     "render_latency",
-    "submit_jobs",
+    "run_chaos_soak",
 ]

@@ -10,6 +10,15 @@ cells are already cached never queues at all.
 terminal and returns :class:`~repro.core.simulator.SimResult` objects
 in submission order — the same order, and byte-for-byte the same
 results, a local :func:`~repro.runtime.run_jobs` call would produce.
+
+Both paths ride the hardened
+:class:`~repro.service.transport.ServiceTransport`: submissions retry
+idempotently under one ``X-Repro-Request-Id`` per job, 429 shedding is
+honored via ``Retry-After``, 5xx bursts retry within a bounded budget,
+and the fetch loop additionally rides out whole server restarts
+(``server.crash``) with a consecutive-outage budget on top of the
+transport's per-call retries — none of which ever reaches the user as
+a traceback.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from repro.obs.manifest import new_run_id
 from repro.obs.spans import SpanRecorder, TraceContext
 from repro.runtime.job import SimJob
 from repro.runtime.settings import resolve_trace_dir
+from repro.service.transport import ServiceTransport
 from repro.service.worker import (
     REQUEST_TIMEOUT,
     ServiceUnavailable,
@@ -33,6 +43,12 @@ from repro.service.worker import (
 
 #: Default seconds between result polls.
 DEFAULT_FETCH_INTERVAL = 0.5
+
+#: Consecutive poll sweeps that may end in :class:`ServiceUnavailable`
+#: (each already a full transport retry budget) before
+#: :func:`fetch_results` gives up — sized to ride out a server
+#: SIGKILL + journal-replay restart.
+FETCH_OUTAGE_BUDGET = 8
 
 
 def _ship_spans(url: str, recorder: SpanRecorder) -> None:
@@ -94,6 +110,7 @@ def submit_jobs(url: str, jobs: Sequence[SimJob],
     states: Dict[str, str] = {}
     recorder = SpanRecorder(directory=resolve_trace_dir(), keep=True,
                             run_id=run_id)
+    transport = ServiceTransport(url, name=f"submit:{run_id}")
     try:
         for job in jobs:
             if not job.cacheable:
@@ -115,7 +132,8 @@ def submit_jobs(url: str, jobs: Sequence[SimJob],
                 span = recorder.start("client.submit", context,
                                       stage="submit", root=True,
                                       key=job.key, label=job.label)
-            response = _post_json(url, "/jobs", payload, headers=headers)
+            response = transport.post_json("/jobs", payload,
+                                           headers=headers)
             if "error" in response:
                 if span is not None:
                     recorder.finish(span, status="error")
@@ -152,13 +170,29 @@ def fetch_results(
     keys = [job.key for job in jobs]
     announced: Dict[str, str] = {}
     recorder = SpanRecorder(directory=resolve_trace_dir(), keep=True)
+    transport = ServiceTransport(url, name="fetch", _sleep=_sleep)
+    outages = 0
     poll_started = time.time()
     try:
         while True:
             for job, key in zip(jobs, keys):
                 if key in results or key in failed:
                     continue
-                document = _get_json(url, f"/jobs/{key}")
+                try:
+                    document = transport.get_json(f"/jobs/{key}")
+                except ServiceUnavailable:
+                    # The transport already spent a full retry budget;
+                    # tolerate a bounded run of such sweeps so a server
+                    # restart (journal replay included) doesn't abort a
+                    # fetch that would succeed seconds later.
+                    outages += 1
+                    if outages > FETCH_OUTAGE_BUDGET:
+                        raise
+                    if stream is not None and outages == 1:
+                        print("service unreachable; retrying...",
+                              file=stream)
+                    break
+                outages = 0
                 if document is None:
                     continue  # not submitted yet (or evicted): keep polling
                 state = document.get("state")

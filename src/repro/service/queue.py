@@ -24,6 +24,18 @@ Results do not live here.  ``complete`` records only that the job
 finished and how long it took; the result document itself goes to the
 sharded :class:`~repro.runtime.cache.ResultCache`, which is the durable
 result store the ``GET /jobs/<key>`` endpoint reads.
+
+A full disk degrades the queue instead of corrupting it.  Journal
+appends are fsync'd; when one fails (real ``ENOSPC`` or an injected
+``disk.full`` fault) the queue flips :attr:`read_only`: submissions
+raise :class:`QueueReadOnly` (the server answers 503 + ``Retry-After``)
+and claims return ``None`` after rolling their transition back, so no
+state transition is ever acknowledged that a restart could not replay.
+Completions and failures still apply in memory — their durable half is
+the result cache, written *before* the journal line, so a restart
+re-queues the entry, the next claim hits the worker's cache, and the
+journal heals.  Every successful append clears :attr:`read_only`, so
+recovery is automatic once the disk drains.
 """
 
 from __future__ import annotations
@@ -45,6 +57,10 @@ DEFAULT_LEASE_SECONDS = 60.0
 
 #: The states a queue entry moves through.
 ENTRY_STATES = ("pending", "running", "done", "failed")
+
+
+class QueueReadOnly(RuntimeError):
+    """The journal cannot be written; mutations are refused for now."""
 
 
 @dataclasses.dataclass
@@ -123,7 +139,8 @@ class JobQueue:
     """
 
     def __init__(self, directory: str,
-                 lease_seconds: float = DEFAULT_LEASE_SECONDS) -> None:
+                 lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                 faults=None) -> None:
         self.directory = os.fspath(directory)
         self.lease_seconds = float(lease_seconds)
         self.journal_path = os.path.join(self.directory, "queue.jsonl")
@@ -131,6 +148,15 @@ class JobQueue:
         self._entries: Dict[str, QueueEntry] = {}
         self._order: List[str] = []  # submission order
         self.write_errors = 0
+        #: Optional :class:`~repro.resilience.FaultPlan`; ``disk.full``
+        #: specs with ``path="queue"`` fail the append at the matched
+        #: ordinal, exactly like a real ``ENOSPC``.
+        self.faults = faults
+        #: True after a journal write failure; cleared by the next
+        #: successful append.  While set, submissions are refused and
+        #: claims roll back — see the module docstring.
+        self.read_only = False
+        self._appends = 0  # lifetime append ordinal (disk.full matching)
         #: Optional transition callback ``(event, entry)``, invoked
         #: fail-soft after claim/complete/fail/requeue journal writes —
         #: the service server reconstructs queue-phase spans here from
@@ -142,7 +168,10 @@ class JobQueue:
     # ------------------------------------------------------------------
     # Journal.
     # ------------------------------------------------------------------
-    def _append(self, event: str, key: str, **fields) -> None:
+    def _append(self, event: str, key: str, **fields) -> bool:
+        """Journal one line; True on success.  A failed append (real
+        ``OSError`` or injected ``disk.full``) flips :attr:`read_only`;
+        callers decide whether their transition must roll back."""
         for optional in ("run_id", "trace"):
             if fields.get(optional) is None:
                 fields.pop(optional, None)
@@ -150,15 +179,24 @@ class JobQueue:
                   "schema": QUEUE_SCHEMA_VERSION}
         record.update(fields)
         line = json.dumps(record, sort_keys=True)
+        ordinal = self._appends
+        self._appends += 1
         try:
+            if (self.faults is not None
+                    and self.faults.fire("disk.full", index=ordinal,
+                                         attempt=None,
+                                         path="queue") is not None):
+                raise OSError(28, "injected disk.full")  # ENOSPC
             with open(self.journal_path, "a", encoding="utf-8") as handle:
                 handle.write(line + "\n")
                 handle.flush()
                 os.fsync(handle.fileno())
         except OSError:
-            # Degrade like the telemetry writer: scheduling continues
-            # in memory, durability is reduced until the disk recovers.
             self.write_errors += 1
+            self.read_only = True
+            return False
+        self.read_only = False
+        return True
 
     def _replay(self) -> None:
         try:
@@ -216,18 +254,24 @@ class JobQueue:
             entry.claimed = record.get("ts", 0.0)
             entry.lease_deadline = record.get("ts", 0.0) + self.lease_seconds
         elif event == "complete":
+            if entry.state == "done":
+                return  # duplicated complete line: first one wins
             entry.state = "done"
             entry.worker = record.get("worker", entry.worker)
             entry.elapsed = record.get("elapsed")
             entry.finished = record.get("ts")
             entry.lease_deadline = None
         elif event == "fail":
+            if entry.state == "done":
+                return  # a completed job cannot retroactively fail
             entry.state = "failed"
             entry.worker = record.get("worker", entry.worker)
             entry.reason = record.get("reason")
             entry.finished = record.get("ts")
             entry.lease_deadline = None
         elif event == "requeue":
+            if entry.state in ("done", "failed"):
+                return  # terminal states never re-enter the queue
             entry.state = "pending"
             entry.worker = None
             entry.lease_deadline = None
@@ -260,8 +304,15 @@ class JobQueue:
             )
             self._entries[key] = entry
             self._order.append(key)
-            self._append("submit", key, payload=payload, index=entry.index,
-                         run_id=entry.run_id, trace=entry.trace)
+            if not self._append("submit", key, payload=payload,
+                                index=entry.index, run_id=entry.run_id,
+                                trace=entry.trace):
+                # Never acknowledge a submission a restart would lose:
+                # roll the entry back and let the server shed the write.
+                del self._entries[key]
+                self._order.pop()
+                raise QueueReadOnly(
+                    "journal write failed; queue is read-only")
             return entry, True
 
     def _notify(self, event: str, entry: QueueEntry) -> None:
@@ -286,8 +337,18 @@ class JobQueue:
                 entry.claims += 1
                 entry.claimed = time.time()
                 entry.lease_deadline = entry.claimed + self.lease_seconds
-                self._append("claim", key, worker=worker,
-                             claims=entry.claims, run_id=entry.run_id)
+                if not self._append("claim", key, worker=worker,
+                                    claims=entry.claims,
+                                    run_id=entry.run_id):
+                    # Don't hand out new leases the journal can't see:
+                    # roll back and answer "idle".  The worker polls
+                    # again, and each poll re-probes the disk.
+                    entry.state = "pending"
+                    entry.worker = None
+                    entry.claims -= 1
+                    entry.claimed = None
+                    entry.lease_deadline = None
+                    return None
                 self._notify("claim", entry)
                 return entry
             return None
@@ -311,6 +372,11 @@ class JobQueue:
         worker-agnostic: a late completion from a worker whose lease
         already expired carries the same bytes the re-queued execution
         would produce, so refusing it would only waste work.
+
+        Applies even while :attr:`read_only` — the durable half of a
+        completion is the result cache (written before the journal
+        line), so the in-memory transition is safe: a restart re-queues
+        the entry and the next claim is served from cache instantly.
         """
         with self._lock:
             entry = self._entries.get(key)
@@ -402,6 +468,7 @@ class JobQueue:
                 "oldest_pending_seconds": oldest,
                 "lease_seconds": self.lease_seconds,
                 "write_errors": self.write_errors,
+                "read_only": self.read_only,
                 "entries": [self._entries[key].public(now)
                             for key in self._order],
             }

@@ -33,6 +33,26 @@ sharded :class:`~repro.runtime.cache.ResultCache`:
 All mutating endpoints are journaled through the queue before they are
 acknowledged, so a SIGKILL'd server restarted on the same data
 directory resumes pending work and re-queues whatever was running.
+
+Overload and failure degrade, never corrupt (``docs/RESILIENCE.md``):
+
+* **Idempotent replay** — mutating POSTs carrying a client-supplied
+  ``X-Repro-Request-Id`` are answered from a bounded replay cache on
+  retry, so a response lost in flight (``http.drop_response``) is
+  re-acknowledged without re-applying the mutation.
+* **Load shedding** — with ``max_depth`` set, submissions beyond the
+  queue's depth bound are answered ``429`` + ``Retry-After`` instead of
+  growing without limit (``repro_service_shed_total`` counts them).
+* **Graceful drain** — :meth:`drain` (wired to SIGTERM by ``repro
+  service``) stops granting claims and sheds new submissions while
+  in-flight completions keep landing; ``/healthz`` announces it.
+* **Read-only degradation** — a failed journal append (real ``ENOSPC``
+  or injected ``disk.full``) flips the queue read-only: submissions
+  shed with 503 until an append succeeds again (see
+  :mod:`repro.service.queue`).
+* **Deadline propagation** — a POST whose ``X-Repro-Deadline`` (unix
+  seconds) already passed is answered ``408`` without side effects; a
+  claim leased to a client that gave up would only burn a lease.
 """
 
 from __future__ import annotations
@@ -41,6 +61,7 @@ import json
 import os
 import tempfile
 import time
+from collections import OrderedDict
 from typing import Optional
 
 from repro.obs.heartbeat import heartbeat_dir
@@ -54,13 +75,26 @@ from repro.obs.spans import (
 )
 from repro.runtime.cache import ResultCache
 from repro.runtime.job import SimJob
-from repro.service.queue import DEFAULT_LEASE_SECONDS, JobQueue
+from repro.service.queue import (
+    DEFAULT_LEASE_SECONDS,
+    JobQueue,
+    QueueReadOnly,
+)
 
 #: Bump on any change to the service's request/response shapes.
 SERVICE_API_VERSION = 1
 
 #: Cap on span records accepted per ``POST /spans`` request.
 MAX_SPANS_PER_POST = 10_000
+
+#: Mutating endpoints whose responses enter the idempotent-replay cache.
+REPLAYABLE_PATHS = ("/jobs", "/claim", "/complete", "/fail")
+
+#: Bound on remembered (request-id → response) pairs.
+REPLAY_CACHE_LIMIT = 4096
+
+#: ``Retry-After`` seconds suggested on 429/503 shed responses.
+SHED_RETRY_AFTER = 0.5
 
 
 class ServiceServer(TelemetryServer):
@@ -82,17 +116,33 @@ class ServiceServer(TelemetryServer):
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
         registry=None,
         stale_after: Optional[float] = None,
+        max_depth: Optional[int] = None,
+        faults=None,
     ) -> None:
         super().__init__(port=port, host=host, registry=registry,
                          telemetry_dir=data_dir, stale_after=stale_after)
         self.data_dir = os.fspath(data_dir)
         os.makedirs(self.data_dir, exist_ok=True)
-        self.queue = JobQueue(self.data_dir, lease_seconds=lease_seconds)
+        self.queue = JobQueue(self.data_dir, lease_seconds=lease_seconds,
+                              faults=faults)
         self.cache = cache if cache is not None else ResultCache(remote=False)
+        if faults is not None and self.cache.faults is None:
+            # Arm the cache's hook too: `disk.full` specs scoped
+            # ``path="cache"`` fail result stores, not journal appends.
+            self.cache.faults = faults
+        #: Queue-depth bound (pending+running) beyond which submissions
+        #: are shed with 429; ``None`` disables shedding entirely.
+        self.max_depth = max_depth
+        #: True once :meth:`drain` ran: no new claims, no new jobs.
+        self.draining = False
         self.submits = 0
         self.submit_cache_hits = 0
         self.submit_duplicates = 0
         self.submit_rejected = 0
+        self.shed_total = 0
+        self.request_replays = 0
+        self.deadline_rejected = 0
+        self._replay_cache: "OrderedDict[str, tuple]" = OrderedDict()
         # Distributed tracing: the service's spans.jsonl is the
         # authoritative trace store — workers and clients ship their
         # spans here (POST /spans), and the queue observer reconstructs
@@ -252,6 +302,73 @@ class ServiceServer(TelemetryServer):
     # ------------------------------------------------------------------
     # POST routing (the writable half the telemetry exporter lacks).
     # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Enter drain mode (SIGTERM path): grant no new claims, shed
+        new submissions, keep accepting completions and heartbeats so
+        in-flight work lands and the journal finishes cleanly.
+        ``/healthz`` announces the state for orchestrators."""
+        self.draining = True
+
+    def _replayed_response(self, request, path: str,
+                           rid: str) -> bool:
+        """Answer a retried mutation from the replay cache (True if so).
+
+        The cache is keyed on the *client-supplied* request id — the
+        transport reuses one id across every retry of a logical
+        operation, so a response lost to ``http.drop_response`` is
+        re-acknowledged here without the mutation running twice.
+        """
+        if path not in REPLAYABLE_PATHS:
+            return False
+        if not request.headers.get("X-Repro-Request-Id"):
+            return False  # no client id: nothing to key replay on
+        cached = self._replay_cache.get(rid)
+        if cached is None:
+            return False
+        self.request_replays += 1
+        status, document = cached
+        document = dict(document)
+        document["replayed"] = True
+        self._respond(request, status, _json_bytes(document),
+                      "application/json")
+        return True
+
+    def _remember_response(self, request, path: str, rid: str,
+                           status: int, document) -> None:
+        """Record a replayable response; transient statuses excluded.
+
+        Shed/drain/deadline answers (408/429/5xx) must never replay —
+        a retry that arrives after the pressure passed deserves a
+        fresh verdict.  Applied mutations (2xx) and deterministic
+        validation verdicts (400/404) replay byte-for-byte.
+        """
+        if path not in REPLAYABLE_PATHS or not isinstance(document, dict):
+            return
+        if not request.headers.get("X-Repro-Request-Id"):
+            return
+        if status >= 400 and status not in (400, 404):
+            return
+        self._replay_cache[rid] = (status, dict(document))
+        while len(self._replay_cache) > REPLAY_CACHE_LIMIT:
+            self._replay_cache.popitem(last=False)
+
+    @staticmethod
+    def _deadline_expired(request) -> bool:
+        """True when the client's ``X-Repro-Deadline`` already passed.
+
+        The header carries absolute unix seconds (same-host clocks in
+        the chaos harness; cross-host deployments accept the skew) so a
+        request delayed past its sender's patience — e.g. held by an
+        ``http.delay`` fault — is refused before it can burn a lease.
+        """
+        raw = request.headers.get("X-Repro-Deadline")
+        if raw is None:
+            return False
+        try:
+            return time.time() > float(raw)
+        except (TypeError, ValueError):
+            return False
+
     def handle_post(self, request) -> None:
         path = request.path.split("?", 1)[0].rstrip("/") or "/"
         rid = self._request_id(request)
@@ -263,6 +380,19 @@ class ServiceServer(TelemetryServer):
                                        "request_id": rid}),
                           "application/json")
             return
+        try:
+            if self._replayed_response(request, path, rid):
+                return
+        except Exception:
+            pass  # replay is an optimisation, never a failure mode
+        if self._deadline_expired(request):
+            self.deadline_rejected += 1
+            self._respond(request, 408,
+                          _json_bytes({"error": "client deadline exceeded "
+                                                "before processing",
+                                       "request_id": rid}),
+                          "application/json")
+            return
         if path == "/jobs":
             # Trace context rides both the payload ("trace") and the
             # W3C-style HTTP header; the header fills in when a client
@@ -270,32 +400,38 @@ class ServiceServer(TelemetryServer):
             header = request.headers.get("traceparent")
             if header is not None and "trace" not in body:
                 body["trace"] = header
+        headers_out = None
         try:
             if path == "/jobs":
-                status, document = self._post_job(body)
+                outcome = self._post_job(body)
             elif path == "/claim":
-                status, document = self._post_claim(body)
+                outcome = self._post_claim(body)
             elif path == "/complete":
-                status, document = self._post_complete(body)
+                outcome = self._post_complete(body)
             elif path == "/fail":
-                status, document = self._post_fail(body)
+                outcome = self._post_fail(body)
             elif path == "/heartbeat":
-                status, document = self._post_heartbeat(body)
+                outcome = self._post_heartbeat(body)
             elif path == "/spans":
-                status, document = self._post_spans(body)
+                outcome = self._post_spans(body)
             else:
-                status, document = 404, {
+                outcome = 404, {
                     "error": f"unknown endpoint {path}",
                     "endpoints": ["/jobs", "/claim", "/complete",
                                   "/fail", "/heartbeat", "/spans"],
                 }
         except Exception as error:
-            status, document = 500, {"error": str(error)}
+            outcome = 500, {"error": str(error)}
+        if len(outcome) == 3:
+            status, document, headers_out = outcome
+        else:
+            status, document = outcome
         if status >= 400 and isinstance(document, dict):
             document.setdefault("request_id", rid)
+        self._remember_response(request, path, rid, status, document)
         try:
             self._respond(request, status, _json_bytes(document),
-                          "application/json")
+                          "application/json", headers=headers_out)
         except Exception:
             pass
 
@@ -331,8 +467,28 @@ class ServiceServer(TelemetryServer):
             # no worker wakes, the submit is answered from disk.
             self.submit_cache_hits += 1
             return 200, {"key": key, "state": "done", "cached": True}
-        entry, created = self.queue.submit(key, job.canonical(),
-                                           run_id=run_id, trace=trace)
+        retry_after = {"Retry-After": SHED_RETRY_AFTER}
+        if self.queue.get(key) is None:
+            # Only *new* entries add depth; duplicates and cache hits
+            # are answered even while draining or full.
+            if self.draining:
+                self.shed_total += 1
+                return 503, {"error": "server is draining",
+                             "draining": True}, retry_after
+            if self.max_depth is not None:
+                counts = self.queue.counts()
+                depth = counts["pending"] + counts["running"]
+                if depth >= self.max_depth:
+                    self.shed_total += 1
+                    return 429, {"error": f"queue full (depth {depth} >= "
+                                          f"max {self.max_depth})",
+                                 "depth": depth}, retry_after
+        try:
+            entry, created = self.queue.submit(key, job.canonical(),
+                                               run_id=run_id, trace=trace)
+        except QueueReadOnly as error:
+            self.shed_total += 1
+            return 503, {"error": str(error), "read_only": True}, retry_after
         if not created:
             self.submit_duplicates += 1
         return (202 if created else 200), {
@@ -344,6 +500,12 @@ class ServiceServer(TelemetryServer):
 
     def _post_claim(self, body: dict):
         worker = str(body.get("worker") or "anonymous")
+        if self.draining:
+            # Drain mode: existing leases run to completion, but no new
+            # work leaves the queue.  Workers see an idle queue and
+            # wind down on their own ``max_idle``.
+            return 200, {"job": None, "draining": True,
+                         "depth": self.queue.counts()["pending"]}
         entry = self.queue.claim(worker)
         if entry is None:
             return 200, {"job": None,
@@ -386,7 +548,15 @@ class ServiceServer(TelemetryServer):
         elapsed = body.get("elapsed")
         # Cache first, then journal: if we die between the two the
         # restarted server finds the key cached and answers done anyway.
-        self.cache.store(job, sim_result, elapsed=elapsed)
+        try:
+            self.cache.store(job, sim_result, elapsed=elapsed)
+        except OSError as error:
+            # Full disk (real or injected): without the cached result
+            # the completion has no durable half, so refuse it — the
+            # worker retries, and past its budget the lease expires and
+            # the job re-queues.  State stays consistent either way.
+            return 503, {"error": f"cache store failed: {error}"}, \
+                {"Retry-After": SHED_RETRY_AFTER}
         accepted = self.queue.complete(
             key, worker=body.get("worker"), elapsed=elapsed)
         return 200, {"key": key, "accepted": accepted, "state": "done"}
@@ -445,6 +615,10 @@ class ServiceServer(TelemetryServer):
             "/spans", "/runs", "/healthz",
         ]
         document["role"] = "service"
+        document["draining"] = self.draining
+        document["read_only"] = self.queue.read_only
+        if self.max_depth is not None:
+            document["max_depth"] = self.max_depth
         return document
 
     def metrics_text(self) -> str:
@@ -477,6 +651,13 @@ class ServiceServer(TelemetryServer):
                     self.submit_duplicates)
         text.sample("service.submit_rejected", "counter",
                     self.submit_rejected)
+        text.sample("service.shed_total", "counter", self.shed_total)
+        text.sample("service.request_replays", "counter",
+                    self.request_replays)
+        text.sample("service.deadline_rejected", "counter",
+                    self.deadline_rejected)
+        text.sample("service.draining", "gauge", self.draining)
+        text.sample("service.read_only", "gauge", self.queue.read_only)
         requeues = sum(entry.get("requeues", 0)
                        for entry in snapshot["entries"])
         text.sample("service.requeues", "counter", requeues)

@@ -39,10 +39,21 @@ Connection trouble is never a traceback: claims retry with exponential
 backoff, and a server that stays gone ends the loop with a clean
 message (exit 0 if this agent ever did useful work, 1 if it could never
 connect).
+
+All protocol round trips go through a
+:class:`~repro.service.transport.ServiceTransport`: retries reuse one
+``X-Repro-Request-Id`` (so the server's replay cache absorbs duplicated
+completions), backoff is deterministically jittered by worker name (no
+thundering herd after ``server.crash``), per-endpoint circuit breakers
+gate a flapping server, and claims carry the worker's deadline.
+Heartbeats are fail-soft *for any reason* — an HTTP error, a torn
+response, a local I/O failure — the simulation keeps running and the
+lease-expiry path covers true worker death.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import os
 import socket
@@ -98,7 +109,10 @@ def _post_json(url: str, path: str, document: dict,
             payload = {"error": str(error)}
         payload.setdefault("status", error.code)
         return payload
-    except (OSError, socket.timeout, ValueError) as error:
+    except (OSError, socket.timeout, http.client.HTTPException,
+            ValueError) as error:
+        # HTTPException covers IncompleteRead/RemoteDisconnected from
+        # torn responses — NOT OSError subclasses, easy to let escape.
         raise ServiceUnavailable(f"{path}: {error}") from None
     if not isinstance(payload, dict):
         raise ServiceUnavailable(f"{path}: non-object response")
@@ -119,6 +133,7 @@ class WorkerAgent:
         cache: Optional[ResultCache] = None,
         faults=None,
         stream=None,
+        outage_grace: float = 0.0,
         _sleep=time.sleep,
     ) -> None:
         self.url = url.rstrip("/")
@@ -126,6 +141,11 @@ class WorkerAgent:
         self.poll_interval = max(0.05, float(poll_interval))
         self.max_jobs = max_jobs
         self.max_idle = max_idle
+        #: Seconds a *connected* worker keeps polling through a service
+        #: outage before exiting.  0 keeps the historical behavior
+        #: (exit cleanly on the first exhausted retry budget); the
+        #: chaos soak raises it so workers ride out server restarts.
+        self.outage_grace = max(0.0, float(outage_grace))
         self.heartbeat_cycles = max(0, int(heartbeat_cycles))
         # The worker's cache never goes remote: the service already
         # told us the key was a miss when it queued the job.
@@ -146,30 +166,35 @@ class WorkerAgent:
         self.spans = SpanRecorder(directory=resolve_trace_dir(), keep=True)
         self.span_ship_errors = 0
         self.cache.tracer = self.spans
+        # Every protocol round trip rides the hardened transport:
+        # request-id-keyed idempotent retries, jittered backoff keyed
+        # on this worker's name, per-endpoint circuit breakers.
+        from repro.service.transport import ServiceTransport
+
+        self.transport = ServiceTransport(
+            self.url, name=self.name, retries=CONNECT_RETRIES,
+            backoff=CONNECT_BACKOFF, _sleep=_sleep)
 
     def _say(self, message: str) -> None:
         print(f"worker {self.name}: {message}", file=self.stream)
 
     # ------------------------------------------------------------------
     def _claim(self) -> Optional[dict]:
-        """One claim with connection retries; raises when the server
-        stays unreachable through the whole backoff schedule."""
-        delay = CONNECT_BACKOFF
-        for attempt in range(CONNECT_RETRIES + 1):
-            try:
-                return _post_json(self.url, "/claim",
-                                  {"worker": self.name})
-            except ServiceUnavailable:
-                if attempt == CONNECT_RETRIES:
-                    raise
-                self._sleep(delay)
-                delay *= 2
-        return None  # unreachable
+        """One claim via the transport's retry/breaker/jitter stack;
+        raises when the server stays unreachable through the whole
+        budget.  The claim carries this worker's deadline so a claim
+        delayed past our patience is refused server-side instead of
+        burning a lease on a request we already gave up on."""
+        return self.transport.post_json(
+            "/claim", {"worker": self.name},
+            deadline=time.time()
+            + REQUEST_TIMEOUT * (CONNECT_RETRIES + 1) + 30.0)
 
     def run(self) -> int:
         """The claim/execute loop; returns a process exit code."""
         connected = False
         idle_since: Optional[float] = None
+        outage_since: Optional[float] = None
         while True:
             if self.max_jobs is not None and self.jobs_done >= self.max_jobs:
                 self._say(f"done: {self.jobs_done} job(s) executed")
@@ -178,12 +203,23 @@ class WorkerAgent:
             try:
                 response = self._claim()
             except ServiceUnavailable as error:
+                if connected and self.outage_grace > 0:
+                    now = time.monotonic()
+                    if outage_since is None:
+                        outage_since = now
+                        self._say(f"service unreachable ({error}); "
+                                  f"retrying for up to "
+                                  f"{self.outage_grace:.0f}s")
+                    if now - outage_since < self.outage_grace:
+                        self._sleep(self.poll_interval)
+                        continue
                 if connected:
                     self._say(f"service went away ({error}); exiting")
                     return 0
                 self._say(f"cannot connect to {self.url} ({error})")
                 return 1
             connected = True
+            outage_since = None
             job_payload = response.get("job") if response else None
             if not job_payload:
                 now = time.monotonic()
@@ -348,8 +384,16 @@ class WorkerAgent:
             try:
                 _post_json(self.url, "/heartbeat", record, timeout=5.0)
                 self.heartbeats += 1
-            except ServiceUnavailable:
-                # Beats are best-effort; the run itself must not care.
+            except Exception as error:
+                # Beats are best-effort: ANY failure — connection loss,
+                # torn response, local I/O — degrades liveness
+                # reporting, never the simulation.  Warn once so logs
+                # show the degradation without a line per beat; if this
+                # worker is truly dead, lease expiry re-queues the job.
+                if self.heartbeat_errors == 0:
+                    self._say("heartbeat failed "
+                              f"({type(error).__name__}: {error}); "
+                              "continuing without heartbeats")
                 self.heartbeat_errors += 1
         return beat
 
@@ -362,7 +406,10 @@ class WorkerAgent:
                                     stage="report", worker=self.name,
                                     key=job.key, run_id=run_id)
         try:
-            _post_json(self.url, "/complete", {
+            # Transport retries reuse one request id, so a completion
+            # whose acknowledgement was lost (http.drop_response) is
+            # replayed server-side, not applied twice.
+            self.transport.post_json("/complete", {
                 "key": job.key,
                 "worker": self.name,
                 "result": result,
@@ -391,7 +438,7 @@ class WorkerAgent:
                                     stage="report", worker=self.name,
                                     key=key, run_id=run_id)
         try:
-            _post_json(self.url, "/fail", {
+            self.transport.post_json("/fail", {
                 "key": key, "worker": self.name, "reason": reason,
             })
             if span is not None:

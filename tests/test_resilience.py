@@ -307,8 +307,24 @@ class TestBackoffAndTiming:
             jobs=1, cache=False, retries=3, backoff=0.2, faults=plan)
         results = engine.run(make_jobs(("gzip",)))
         assert results[0] is not None
-        assert sleeps == [0.2, 0.4]  # backoff * 2**(round-1), no jitter
-        assert engine.report.backoff_seconds == pytest.approx(0.6)
+        # Exponential schedule, jittered into ±25% by a hash of
+        # (run_id, round) — no wall-clock randomness.
+        assert len(sleeps) == 2
+        for delay, base in zip(sleeps, (0.2, 0.4)):
+            assert base * 0.75 <= delay <= base * 1.25
+        assert engine.report.backoff_seconds == pytest.approx(sum(sleeps))
+
+    def test_backoff_jitter_replays_for_a_fixed_run_id(self):
+        from repro.resilience.retry import deterministic_jitter
+
+        first = [deterministic_jitter("engine:run-1", r, 0.2)
+                 for r in (1, 2, 3)]
+        again = [deterministic_jitter("engine:run-1", r, 0.2)
+                 for r in (1, 2, 3)]
+        other = [deterministic_jitter("engine:run-2", r, 0.2)
+                 for r in (1, 2, 3)]
+        assert first == again       # same key => byte-identical sleeps
+        assert first != other       # distinct engines desynchronize
 
     def test_backoff_env_default(self, monkeypatch):
         monkeypatch.setenv("REPRO_RETRY_BACKOFF", "1.5")

@@ -5,7 +5,8 @@ import os
 
 import pytest
 
-from repro.service.queue import JobQueue
+from repro.resilience import FaultPlan, FaultSpec
+from repro.service.queue import JobQueue, QueueReadOnly
 
 
 def payload(n: int = 0) -> dict:
@@ -122,6 +123,55 @@ class TestDurability:
         revived = JobQueue(str(tmp_path))
         assert revived.get(key(1)).state == "pending"
 
+    def test_replay_ignores_duplicate_complete_lines(self, tmp_path):
+        # A retried /complete whose first acknowledgement was lost can
+        # journal twice (pre-replay-cache servers did); the first line
+        # must win and the duplicate must not disturb the entry.
+        queue = JobQueue(str(tmp_path))
+        queue.submit(key(1), payload(1))
+        queue.claim("w1")
+        queue.complete(key(1), worker="w1", elapsed=0.25)
+        with open(queue.journal_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({
+                "event": "complete", "key": key(1), "worker": "w2",
+                "elapsed": 9.9, "ts": 1.0, "schema": 1}) + "\n")
+        revived = JobQueue(str(tmp_path))
+        entry = revived.get(key(1))
+        assert entry.state == "done"
+        assert entry.worker == "w1"
+        assert entry.elapsed == 0.25
+
+    def test_replay_ignores_complete_for_unknown_key(self, tmp_path):
+        queue = JobQueue(str(tmp_path))
+        queue.submit(key(1), payload(1))
+        with open(queue.journal_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({
+                "event": "complete", "key": key(9), "worker": "w1",
+                "ts": 1.0, "schema": 1}) + "\n")
+        revived = JobQueue(str(tmp_path))
+        assert revived.get(key(9)) is None
+        assert revived.get(key(1)).state == "pending"
+        assert len(revived) == 1
+
+    def test_replay_tolerates_torn_tail_mid_claim(self, tmp_path):
+        # Server SIGKILLed halfway through journaling a claim: the torn
+        # line is skipped and the entry replays as pending — the claim
+        # that never fully landed never happened.
+        queue = JobQueue(str(tmp_path))
+        queue.submit(key(1), payload(1))
+        queue.submit(key(2), payload(2))
+        queue.claim("w1")  # key(1) fully journaled as running
+        with open(queue.journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "claim", "key": "' + key(2)
+                         + '", "wor')  # died mid-append
+        revived = JobQueue(str(tmp_path))
+        # key(1)'s claim replayed, then restart re-queued it; key(2)'s
+        # torn claim is invisible.
+        assert revived.get(key(1)).state == "pending"
+        assert revived.get(key(1)).requeues == 1
+        assert revived.get(key(2)).state == "pending"
+        assert revived.get(key(2)).claims == 0
+
     def test_journal_records_are_json_lines(self, tmp_path):
         queue = JobQueue(str(tmp_path))
         queue.submit(key(1), payload(1))
@@ -130,6 +180,48 @@ class TestDurability:
         with open(queue.journal_path, encoding="utf-8") as handle:
             events = [json.loads(line)["event"] for line in handle]
         assert events == ["submit", "claim", "complete"]
+
+
+class TestReadOnlyDegradation:
+    def plan(self, index):
+        return FaultPlan([FaultSpec(site="disk.full", index=index,
+                                    attempt=None, path="queue")])
+
+    def test_failed_submit_append_rolls_back_and_raises(self, tmp_path):
+        queue = JobQueue(str(tmp_path), faults=self.plan(index=1))
+        queue.submit(key(1), payload(1))          # append 0: fine
+        with pytest.raises(QueueReadOnly):
+            queue.submit(key(2), payload(2))      # append 1: ENOSPC
+        assert queue.read_only
+        assert queue.get(key(2)) is None          # never acknowledged
+        # The fault budget is spent: the retried submit lands and
+        # clears read-only (automatic recovery).
+        entry, created = queue.submit(key(2), payload(2))
+        assert created and not queue.read_only
+        revived = JobQueue(str(tmp_path))
+        assert revived.get(key(2)).state == "pending"
+
+    def test_failed_claim_append_rolls_back_lease(self, tmp_path):
+        queue = JobQueue(str(tmp_path), faults=self.plan(index=1))
+        queue.submit(key(1), payload(1))          # append 0
+        assert queue.claim("w1") is None          # append 1: ENOSPC
+        entry = queue.get(key(1))
+        assert entry.state == "pending" and entry.claims == 0
+        # Next poll re-probes the disk and succeeds.
+        reclaimed = queue.claim("w1")
+        assert reclaimed is not None and reclaimed.claims == 1
+
+    def test_complete_applies_in_memory_despite_full_disk(self, tmp_path):
+        # Completions are cache-first durable: the in-memory transition
+        # sticks even when its journal line is lost, and a restart only
+        # costs a re-queue that the worker's cache answers instantly.
+        queue = JobQueue(str(tmp_path), faults=self.plan(index=2))
+        queue.submit(key(1), payload(1))          # append 0
+        queue.claim("w1")                         # append 1
+        assert queue.complete(key(1), worker="w1")  # append 2: ENOSPC
+        assert queue.get(key(1)).state == "done"
+        assert queue.read_only
+        assert queue.snapshot()["read_only"]
 
 
 class TestSnapshot:
