@@ -37,6 +37,18 @@ from repro.analysis.history import (
     metric_series,
     sparkline,
 )
+from repro.analysis.phases import (
+    PHASE_SIGNATURE_VERSION,
+    Phase,
+    PhaseReport,
+    compare_timelines,
+    detect_phases,
+    load_timeline,
+    render_comparison,
+    render_timeline,
+    segment_timeline,
+    window_features,
+)
 from repro.analysis.bench import run_bench
 from repro.analysis.degradation import (
     CheckReport,
@@ -56,6 +68,9 @@ __all__ = [
     "HISTORY_SCHEMA_VERSION",
     "HistoryStore",
     "MetricDelta",
+    "PHASE_SIGNATURE_VERSION",
+    "Phase",
+    "PhaseReport",
     "UtilizationReport",
     "analyze_manifest",
     "append_trajectory",
@@ -64,17 +79,24 @@ __all__ = [
     "capture_baseline",
     "check_history",
     "collect_utilization",
+    "compare_timelines",
+    "detect_phases",
     "diff_sources",
     "estimate_energy",
     "load_baseline",
     "load_points",
+    "load_timeline",
     "load_trajectory",
     "metric_direction",
     "metric_series",
     "metrics_from_result",
+    "render_comparison",
+    "render_timeline",
+    "segment_timeline",
     "results_to_csv",
     "results_to_rows",
     "run_bench",
     "sparkline",
+    "window_features",
     "write_baseline",
 ]

@@ -312,6 +312,11 @@ def _build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="simulated cycles between HTTP heartbeats "
                              "(default 2000; 0 = no heartbeats)")
+    worker.add_argument("--interval-cycles", type=int, default=None,
+                        metavar="N",
+                        help="attach an interval recorder to each job "
+                             "and ride its last window on heartbeats "
+                             "(default $REPRO_INTERVAL_CYCLES; 0 = off)")
     worker.add_argument("--fault-plan", default=None, metavar="PATH",
                         help="inject a deterministic FaultPlan "
                              "(worker.lease_expire chaos testing)")
@@ -460,17 +465,65 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(default 1000; 0 = totals only)")
     add_common(profile)
 
+    timeline = sub.add_parser(
+        "timeline",
+        help="windowed time-series of one simulation + program-phase "
+             "detection: sparklines, lost-slot heatmap, per-phase "
+             "attribution (see docs/OBSERVABILITY.md)")
+    timeline.add_argument("benchmark", nargs="?", default=None,
+                          help="benchmark name (omit with --phased)")
+    timeline.add_argument("--strategy", choices=sorted(_STRATEGIES),
+                          default="fdrt")
+    timeline.add_argument("--seed", type=int, default=None,
+                          help="workload replicate seed")
+    timeline.add_argument("--interval-cycles", type=int, default=None,
+                          metavar="N",
+                          help="cycles per window (default "
+                               "$REPRO_INTERVAL_CYCLES or 1000)")
+    timeline.add_argument("--phased", default=None, metavar="A,B,...",
+                          help="simulate a synthetic phased workload "
+                               "instead of a benchmark: comma-separated "
+                               "segment kinds (compute, memory, branchy) "
+                               "looped in order")
+    timeline.add_argument("--threshold", type=float, default=None,
+                          metavar="D",
+                          help="change-point distance threshold "
+                               "(default 0.25)")
+    timeline.add_argument("--json", default=None, metavar="PATH",
+                          help="write meta + windows + phases as one "
+                               "JSON document to PATH ('-' = stdout; "
+                               "readable by `repro analyze --phases`)")
+    timeline.add_argument("--markdown", default=None, metavar="PATH",
+                          help="write the per-phase table as markdown "
+                               "to PATH")
+    timeline.add_argument("--perfetto", default=None, metavar="PATH",
+                          help="write the series as Chrome-trace counter "
+                               "tracks to PATH (open in Perfetto)")
+    timeline.add_argument("--cycle-trace", default=None, metavar="PATH",
+                          help="merge a `repro trace` cycle-trace JSON "
+                               "into the --perfetto export")
+    timeline.add_argument("--no-color", action="store_true",
+                          help="plain output even on a TTY")
+    add_common(timeline)
+
     analyze = sub.add_parser(
         "analyze",
         help="performance report from a telemetry directory: top-down "
              "IPC-loss attribution + assignment quality")
-    analyze.add_argument("telemetry",
-                         help="telemetry directory (or manifest.json path)")
+    analyze.add_argument("telemetry", nargs="?", default=None,
+                         help="telemetry directory (or manifest.json "
+                              "path); optional with --phases")
     analyze.add_argument("--markdown", default=None, metavar="PATH",
                          help="also write the report as markdown to PATH")
     analyze.add_argument("--json", action="store_true",
                          help="emit the report as machine-readable JSON "
                               "instead of the terminal dashboard")
+    analyze.add_argument("--phases", nargs="+", default=None,
+                         metavar="TIMELINE",
+                         help="per-phase attribution from one or more "
+                              "`repro timeline --json` exports; two or "
+                              "more add a phase-by-phase strategy "
+                              "comparison (winner per phase id)")
 
     baseline = sub.add_parser(
         "baseline",
@@ -1036,7 +1089,8 @@ def _cmd_worker(args) -> int:
     agent = WorkerAgent(
         url, name=args.name, poll_interval=args.poll,
         max_jobs=args.max_jobs, max_idle=args.max_idle,
-        heartbeat_cycles=args.heartbeat_cycles, faults=faults,
+        heartbeat_cycles=args.heartbeat_cycles,
+        interval_cycles=args.interval_cycles, faults=faults,
         outage_grace=args.outage_grace,
     )
     return agent.run()
@@ -1183,7 +1237,10 @@ def _cmd_spans(args) -> int:
     if args.trace:
         spans = [record for record in spans
                  if str(record.get("trace", "")).startswith(args.trace)]
-    print(render_spans(spans, limit=args.limit))
+    from repro.runtime.observe import stream_is_tty
+
+    print(render_spans(spans, limit=args.limit,
+                       ansi=stream_is_tty(sys.stdout)))
     if spans:
         print()
         print(render_critical_path(spans))
@@ -1287,29 +1344,171 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_timeline(args) -> int:
+    import json
+
+    from repro.analysis import render_timeline, segment_timeline
+    from repro.analysis.phases import DEFAULT_THRESHOLD
+    from repro.core.simulator import simulate
+    from repro.obs.timeseries import (
+        DEFAULT_INTERVAL_CYCLES,
+        IntervalRecorder,
+    )
+    from repro.runtime.observe import stream_is_tty
+    from repro.runtime.settings import resolve_interval_cycles
+
+    if (args.benchmark is None) == (args.phased is None):
+        print("error: give a benchmark or --phased KINDS (not both)",
+              file=sys.stderr)
+        return 2
+    try:
+        interval = resolve_interval_cycles(args.interval_cycles)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if interval <= 0:
+        interval = DEFAULT_INTERVAL_CYCLES
+    if args.phased is not None:
+        from repro.workloads import phased_program
+
+        try:
+            subject = phased_program(tuple(_split_tokens(args.phased)),
+                                     seed=args.seed or 1)
+        except (KeyError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        label = subject.name
+    else:
+        subject = label = args.benchmark
+    cycle = None
+    if args.cycle_trace:
+        try:
+            with open(args.cycle_trace, encoding="utf-8") as handle:
+                cycle = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read --cycle-trace "
+                  f"{args.cycle_trace}: {error}", file=sys.stderr)
+            return 2
+    recorder = IntervalRecorder(interval_cycles=interval)
+    result = simulate(
+        subject, _STRATEGIES[args.strategy], config=_machine(args),
+        instructions=args.instructions, warmup=args.warmup,
+        seed=args.seed, recorder=recorder,
+    )
+    threshold = (args.threshold if args.threshold is not None
+                 else DEFAULT_THRESHOLD)
+    report = segment_timeline(
+        recorder.windows, threshold=threshold,
+        meta=dict(recorder.meta(), benchmark=label,
+                  strategy=args.strategy, seed=args.seed))
+    document = {
+        "meta": report.meta,
+        "windows": list(recorder.windows),
+        "phases": report.to_dict(),
+    }
+    payload = json.dumps(document, indent=2, sort_keys=True)
+    if args.json == "-":
+        print(payload)
+    else:
+        ansi = (not args.no_color) and stream_is_tty(sys.stdout)
+        print(f"timeline — {label} / {args.strategy}  "
+              f"({interval} cycles per window, "
+              f"{len(recorder.windows)} window(s)"
+              + (f", {recorder.dropped} dropped"
+                 if recorder.dropped else "") + ")")
+        print()
+        print(render_timeline(recorder.windows, report=report, ansi=ansi))
+        print()
+        print(report.render())
+        print()
+        print(f"simulated: {result.retired} instructions over "
+              f"{result.cycles} cycles (IPC {result.ipc:.3f})")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"timeline JSON: {args.json}")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(report.to_markdown() + "\n")
+        if args.json != "-":
+            print(f"markdown report: {args.markdown}")
+    if args.perfetto:
+        recorder.write_chrome_trace(args.perfetto, cycle_trace=cycle)
+        if args.json != "-":
+            print(f"Perfetto counter tracks: {args.perfetto}")
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     import json
     import os
 
     from repro.analysis import analyze_manifest
 
-    path = args.telemetry
-    if os.path.isdir(path):
-        path = os.path.join(path, "manifest.json")
-    try:
-        with open(path, encoding="utf-8") as handle:
-            manifest = json.load(handle)
-    except OSError as error:
-        print(f"error: cannot read manifest: {error}", file=sys.stderr)
+    if args.telemetry is None and not args.phases:
+        print("error: give a telemetry directory or --phases TIMELINE...",
+              file=sys.stderr)
         return 2
-    report = analyze_manifest(manifest)
+    report = None
+    if args.telemetry is not None:
+        path = args.telemetry
+        if os.path.isdir(path):
+            path = os.path.join(path, "manifest.json")
+        try:
+            with open(path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except OSError as error:
+            print(f"error: cannot read manifest: {error}", file=sys.stderr)
+            return 2
+        report = analyze_manifest(manifest)
+    phase_reports = {}
+    if args.phases:
+        from repro.analysis import load_timeline, segment_timeline
+
+        for file_path in args.phases:
+            try:
+                meta, windows = load_timeline(file_path)
+            except OSError as error:
+                print(f"error: cannot read timeline {file_path}: {error}",
+                      file=sys.stderr)
+                return 2
+            label = (meta.get("strategy")
+                     or os.path.splitext(os.path.basename(file_path))[0])
+            if label in phase_reports:
+                label = f"{label}:{len(phase_reports)}"
+            phase_reports[label] = segment_timeline(windows, meta=meta)
+    document = {}
+    sections = []
+    markdown = []
+    if report is not None:
+        document["report"] = report.to_dict()
+        sections.append(report.render())
+        markdown.append(report.to_markdown())
+    if phase_reports:
+        from repro.analysis import compare_timelines, render_comparison
+
+        document["phases"] = {label: r.to_dict()
+                              for label, r in phase_reports.items()}
+        for label, phase_report in phase_reports.items():
+            sections.append(f"phases — {label}\n"
+                            + phase_report.render())
+            markdown.append(f"## Phases — {label}\n\n"
+                            + phase_report.to_markdown())
+        if len(phase_reports) > 1:
+            rows = compare_timelines(phase_reports)
+            document["comparison"] = rows
+            sections.append("per-phase strategy comparison "
+                            "(cycle-weighted mean IPC)\n"
+                            + render_comparison(rows))
     if args.json:
-        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        payload = (document["report"] if set(document) == {"report"}
+                   else document)
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
-        print(report.render())
+        print("\n\n".join(sections))
     if args.markdown:
         with open(args.markdown, "w", encoding="utf-8") as handle:
-            handle.write(report.to_markdown() + "\n")
+            handle.write("\n\n".join(markdown) + "\n")
         if not args.json:
             print(f"\nmarkdown report: {args.markdown}")
     return 0
@@ -1569,6 +1768,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "spans": _cmd_spans,
         "cache": _cmd_cache,
         "profile": _cmd_profile,
+        "timeline": _cmd_timeline,
         "analyze": _cmd_analyze,
         "baseline": _cmd_baseline,
         "diff": _cmd_diff,

@@ -118,6 +118,13 @@ class Pipeline:
         self.progress_hook = None
         self.progress_interval = 0
         self._next_progress = 0
+        #: Optional interval sampler ``sampler(pipeline)`` invoked every
+        #: ``sample_interval`` cycles inside :meth:`run` (an
+        #: :class:`repro.obs.timeseries.IntervalRecorder`).  Read-only,
+        #: same ``is not None`` fast path as ``progress_hook``.
+        self.sampler = None
+        self.sample_interval = 0
+        self._next_sample = 0
         #: Always-on top-down cycle-loss attribution (read-only over the
         #: machine state, so it cannot perturb timing).
         self.accounting = CycleAccounting(config.width)
@@ -150,10 +157,14 @@ class Pipeline:
         """Simulate until ``max_instructions`` retire (or stream ends)."""
         target = self.stats.retired + max_instructions
         hook = self.progress_hook
+        sampler = self.sampler
         while self.stats.retired < target:
             if self._drained():
                 break
             self.step()
+            if sampler is not None and self.now >= self._next_sample:
+                self._next_sample = self.now + max(1, self.sample_interval)
+                sampler(self)
             if hook is not None and self.now >= self._next_progress:
                 self._next_progress = self.now + max(
                     1, self.progress_interval)

@@ -230,14 +230,18 @@ def simulate(
     progress_hook=None,
     progress_interval: int = 2_000,
     profiler=None,
+    recorder=None,
 ) -> SimResult:
     """Generate the workload, warm up, measure, and return the result.
 
     ``progress_hook`` (with ``progress_interval`` cycles between calls)
     installs a read-only in-run hook before warmup — see
-    :meth:`Simulator.progress` — and ``profiler`` attaches a
-    :class:`repro.obs.profiler.PhaseProfiler` for the whole run.
-    Neither affects the result.
+    :meth:`Simulator.progress` — ``profiler`` attaches a
+    :class:`repro.obs.profiler.PhaseProfiler` for the whole run, and
+    ``recorder`` attaches a
+    :class:`repro.obs.timeseries.IntervalRecorder` over the *measured*
+    region (warmup is excluded, matching the statistics window).  None
+    of them affects the result.
     """
     simulator = Simulator(benchmark, spec=spec, config=config, seed=seed)
     if progress_hook is not None:
@@ -247,7 +251,11 @@ def simulate(
     try:
         if warmup:
             simulator.warmup(warmup)
+        if recorder is not None:
+            recorder.attach(simulator.pipeline)
         return simulator.run(instructions)
     finally:
+        if recorder is not None:
+            recorder.detach()
         if profiler is not None:
             profiler.detach()

@@ -96,6 +96,12 @@ from repro.obs.spans import (
     spans_to_chrome,
     trace_sampled,
 )
+from repro.obs.timeseries import (
+    DEFAULT_INTERVAL_CYCLES,
+    INTERVAL_SCHEMA_VERSION,
+    TIMELINE_PID,
+    IntervalRecorder,
+)
 from repro.obs.tracer import (
     FETCH_LANE,
     FILL_LANE,
@@ -108,6 +114,7 @@ __all__ = [
     "Counter",
     "CycleTracer",
     "DEFAULT_BUCKETS",
+    "DEFAULT_INTERVAL_CYCLES",
     "FETCH_LANE",
     "FILL_LANE",
     "Gauge",
@@ -115,6 +122,8 @@ __all__ = [
     "HeartbeatMonitor",
     "HeartbeatWriter",
     "Histogram",
+    "INTERVAL_SCHEMA_VERSION",
+    "IntervalRecorder",
     "MANIFEST_SCHEMA_VERSION",
     "MetricsRegistry",
     "MultiObserver",
@@ -128,6 +137,7 @@ __all__ = [
     "SPAN_STAGES",
     "Span",
     "SpanRecorder",
+    "TIMELINE_PID",
     "TelemetryServer",
     "TelemetryWriter",
     "TraceContext",

@@ -136,6 +136,16 @@ class PhaseProfiler:
         self._open = {phase: 0.0 for phase in PHASES}
         self._open_start = None
 
+    def finish(self) -> None:
+        """Flush the final partial sample (idempotent).
+
+        A run shorter than ``sample_cycles`` never completes a window
+        inside :meth:`account`, so without this its samples would be
+        silently empty; :meth:`detach` and the exporters call it, and
+        callers driving the pipeline manually may too.
+        """
+        self._flush_sample()
+
     # ------------------------------------------------------------------
     # Derived views.
     # ------------------------------------------------------------------

@@ -420,6 +420,19 @@ class TelemetryServer:
                         record.get("retired", 0), **labels)
             text.sample("worker.ipc", "gauge",
                         record.get("ipc", 0.0), **labels)
+            # Last interval-recorder window (the `interval` heartbeat
+            # field): the worker's *current* behaviour, vs the
+            # cumulative gauges above.
+            interval = record.get("interval")
+            if isinstance(interval, dict):
+                for field in ("ipc", "tc_hit_rate", "occupancy_frac",
+                              "rs_full", "fetch_starve",
+                              "forwarded_hops", "forwarded_operands"):
+                    value = interval.get(field)
+                    if isinstance(value, (int, float)) \
+                            and not isinstance(value, bool):
+                        text.sample(f"worker.interval_{field}", "gauge",
+                                    value, **labels)
             if record.get("stale"):
                 stale += 1
             for phase, seconds in (record.get("profile") or {}).items():

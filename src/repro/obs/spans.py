@@ -425,9 +425,22 @@ def _span_depth(record: dict, by_id: Dict[str, dict]) -> int:
 # ----------------------------------------------------------------------
 # Rendering: waterfall + critical path.
 # ----------------------------------------------------------------------
+#: ANSI SGR codes for the waterfall (only on interactive terminals —
+#: callers gate on :func:`repro.runtime.observe.stream_is_tty`).
+_ANSI_RESET = "\x1b[0m"
+_ANSI_DIM = "\x1b[2m"
+_ANSI_CYAN = "\x1b[36m"
+_ANSI_RED = "\x1b[31m"
+
+
 def render_spans(spans: Sequence[dict], limit: int = 20,
-                 width: int = 32) -> str:
-    """Per-trace waterfall tables (``repro spans``'s main view)."""
+                 width: int = 32, ansi: bool = False) -> str:
+    """Per-trace waterfall tables (``repro spans``'s main view).
+
+    ``ansi=False`` (the default) keeps the output free of escape
+    sequences, so piped/redirected output is plain text; ``ansi=True``
+    colours the bars and flags error statuses.
+    """
     traces = group_traces(spans)
     if not traces:
         return "no spans recorded"
@@ -465,6 +478,12 @@ def render_spans(spans: Sequence[dict], limit: int = 20,
             gutter = " " * min(left, width - 1) + "█" * bar
             status = record.get("status", "ok")
             flag = "" if status == "ok" else f"  [{status}]"
+            if ansi:
+                color = _ANSI_RED if status != "ok" else (
+                    _ANSI_CYAN if depth == 0 else _ANSI_DIM)
+                gutter = f"{color}{gutter:<{width}}{_ANSI_RESET}"
+                if flag:
+                    flag = f"  {_ANSI_RED}[{status}]{_ANSI_RESET}"
             lines.append(
                 f"  {name:<28} {record.get('stage', '-'):<9} "
                 f"{start - t0:>7.3f}s {end - start:>8.3f}s  "

@@ -26,9 +26,13 @@ import time
 from typing import Dict, List, Optional
 
 from repro.obs.heartbeat import HeartbeatMonitor, heartbeat_dir
+from repro.runtime.observe import stream_is_tty
 
 #: Seconds between repaints unless overridden.
 DEFAULT_INTERVAL = 1.0
+
+#: IPC samples kept per job for the live trend sparkline.
+TREND_POINTS = 10
 
 #: Connection-retry schedule for URL sources: a refused or dropped
 #: connection is retried this many times with exponential backoff
@@ -49,14 +53,6 @@ _ANSI_STATUS = {
 
 #: Statuses that mean a job is finished (well or badly).
 _TERMINAL = ("hit", "executed", "resumed", "failed")
-
-
-def _is_tty(stream) -> bool:
-    """True when ``stream`` is an interactive terminal (never raises)."""
-    try:
-        return bool(stream.isatty())
-    except (AttributeError, ValueError, OSError):
-        return False
 
 
 # ----------------------------------------------------------------------
@@ -214,6 +210,7 @@ def _job_row(job: dict) -> dict:
     status = job.get("status", "pending")
     beat = job.get("heartbeat")
     cycles = retired = ipc = rate = age = None
+    interval_ipc = None
     elapsed = job.get("elapsed") or None
     if beat is not None:
         if status == "pending":
@@ -222,6 +219,13 @@ def _job_row(job: dict) -> dict:
         retired = beat.get("retired")
         ipc = beat.get("ipc")
         age = beat.get("age")
+        # Windowed IPC from an attached interval recorder (the
+        # ``interval`` heartbeat field): the *current* behaviour, vs
+        # the cumulative ``ipc`` — preferred for the trend sparkline.
+        interval = beat.get("interval")
+        if isinstance(interval, dict) \
+                and isinstance(interval.get("ipc"), (int, float)):
+            interval_ipc = interval["ipc"]
         hb_elapsed = beat.get("elapsed") or 0.0
         if cycles and hb_elapsed > 0:
             rate = cycles / hb_elapsed
@@ -244,6 +248,7 @@ def _job_row(job: dict) -> dict:
         "cycles": cycles,
         "retired": retired,
         "ipc": ipc,
+        "interval_ipc": interval_ipc,
         "rate": rate,
         "elapsed": elapsed,
         "age": age,
@@ -251,9 +256,36 @@ def _job_row(job: dict) -> dict:
     }
 
 
+def update_trends(document: dict,
+                  trends: Dict[int, List[float]]) -> None:
+    """Fold one snapshot's per-job IPC into the trend histories.
+
+    Prefers the windowed IPC a worker's interval recorder put on the
+    heartbeat (current behaviour) over the cumulative IPC; keeps the
+    newest :data:`TREND_POINTS` samples per job index.
+    """
+    for job in document.get("jobs", []):
+        row = _job_row(job)
+        index = row["index"]
+        if index is None:
+            continue
+        value = (row["interval_ipc"] if row["interval_ipc"] is not None
+                 else row["ipc"])
+        if value is None:
+            continue
+        series = trends.setdefault(index, [])
+        series.append(float(value))
+        del series[:-TREND_POINTS]
+
+
 def render_state(document: dict, ansi: bool = False,
-                 clock=time.strftime) -> str:
-    """Render the document as a header plus a per-job table."""
+                 clock=time.strftime,
+                 trends: Optional[Dict[int, List[float]]] = None) -> str:
+    """Render the document as a header plus a per-job table.
+
+    ``trends`` (job index → recent IPC samples, see
+    :func:`update_trends`) adds a live per-worker IPC sparkline column.
+    """
     jobs = [_job_row(job) for job in document.get("jobs", [])]
     total = document.get("total") or len(jobs)
     by_status: Dict[str, int] = {}
@@ -291,9 +323,11 @@ def render_state(document: dict, ansi: bool = False,
             f" hit-rate {cache.get('hit_rate', 0.0):.0%}"
         )
     lines.append("")
+    from repro.analysis.history import sparkline
+
     header = (f"{'#':>3}  {'status':<9} {'job':<36} {'try':>3} "
-              f"{'cycles':>10} {'ipc':>7} {'kcyc/s':>8} {'time':>7} "
-              f"{'beat':>6}")
+              f"{'cycles':>10} {'ipc':>7} {'trend':<{TREND_POINTS}} "
+              f"{'kcyc/s':>8} {'time':>7} {'beat':>6}")
     lines.append(header)
     lines.append("-" * len(header))
     if not jobs:
@@ -309,11 +343,12 @@ def render_state(document: dict, ansi: bool = False,
         elapsed = (f"{row['elapsed']:.1f}s"
                    if row["elapsed"] is not None else "-")
         age = f"{row['age']:.1f}s" if row["age"] is not None else "-"
+        trend = sparkline((trends or {}).get(row["index"], ()))
         lines.append(
             f"{row['index'] if row['index'] is not None else '?':>3}  "
             f"{status_word} {row['label']:<36.36} {row['retries']:>3} "
             f"{_fmt_int(row['cycles']):>10} {_fmt_float(row['ipc']):>7} "
-            f"{rate:>8} {elapsed:>7} {age:>6}"
+            f"{trend:<{TREND_POINTS}} {rate:>8} {elapsed:>7} {age:>6}"
         )
         if row["reason"]:
             lines.append(f"      ! {row['reason']}")
@@ -345,8 +380,9 @@ def run_top(
 
     stream = stream if stream is not None else sys.stdout
     if ansi is None:
-        ansi = _is_tty(stream)
+        ansi = stream_is_tty(stream)
     refreshes = 0
+    trends: Dict[int, List[float]] = {}
     #: Errors a flaky or shut-down server surfaces mid-scrape: refused
     #: or reset connections (OSError covers urllib's URLError), a
     #: half-closed socket mid-response (BadStatusLine & friends), or a
@@ -387,7 +423,8 @@ def run_top(
                 print(f"repro top: cannot connect to {source} ({error})",
                       file=sys.stderr)
                 return 1
-        rendered = render_state(document, ansi=ansi)
+        update_trends(document, trends)
+        rendered = render_state(document, ansi=ansi, trends=trends)
         if ansi:
             stream.write(_ANSI_HOME_CLEAR)
         stream.write(rendered)

@@ -138,14 +138,14 @@ class SimJob:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def run(self, progress_hook=None, progress_interval: int = 2_000,
-            profiler=None) -> SimResult:
+            profiler=None, recorder=None) -> SimResult:
         """Execute the simulation described by this job.
 
-        ``progress_hook``/``progress_interval``/``profiler`` forward to
-        :func:`repro.core.simulator.simulate` — read-only in-run
-        observers (worker heartbeats, phase profiling) that cannot
-        affect the result, so they are deliberately *not* part of the
-        job's canonical form.
+        ``progress_hook``/``progress_interval``/``profiler``/``recorder``
+        forward to :func:`repro.core.simulator.simulate` — read-only
+        in-run observers (worker heartbeats, phase profiling, interval
+        time series) that cannot affect the result, so they are
+        deliberately *not* part of the job's canonical form.
         """
         return simulate(
             self.benchmark,
@@ -157,4 +157,5 @@ class SimJob:
             progress_hook=progress_hook,
             progress_interval=progress_interval,
             profiler=profiler,
+            recorder=recorder,
         )

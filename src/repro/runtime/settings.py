@@ -31,6 +31,13 @@ Environment variables:
 ``REPRO_HEARTBEAT_CYCLES``
     Simulated cycles between worker heartbeat records.  Default
     ``2000``; any value ``<= 0`` disables heartbeats.
+``REPRO_INTERVAL_CYCLES``
+    Simulated cycles per time-series window: when set to a positive
+    value, workers attach an
+    :class:`~repro.obs.timeseries.IntervalRecorder` to every job and
+    the last window's gauges ride heartbeats onto ``/metrics``
+    (``repro_worker_interval_*``).  Default ``0`` (recorder off; runs
+    stay on the zero-overhead fast path).
 ``REPRO_STALE_AFTER``
     Seconds of heartbeat silence before a worker is flagged stale and
     handed to the reaping watchdog (float).  Default: staleness
@@ -210,6 +217,23 @@ def resolve_heartbeat_cycles(explicit: Optional[int] = None) -> int:
     except (TypeError, ValueError):
         raise ValueError(
             f"invalid heartbeat interval {value!r}: expected an integer"
+        ) from None
+
+
+def resolve_interval_cycles(explicit: Optional[int] = None) -> int:
+    """Resolve cycles per time-series window (``0`` = recorder off)."""
+    value = explicit
+    if value is None:
+        env = os.environ.get("REPRO_INTERVAL_CYCLES")
+        if env:
+            value = env
+    if value is None:
+        return 0
+    try:
+        return max(0, int(value))
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"invalid interval cycles {value!r}: expected an integer"
         ) from None
 
 

@@ -588,7 +588,7 @@ class ServiceServer(TelemetryServer):
         record = {field: body.get(field) for field in
                   ("schema", "pid", "index", "key", "label", "attempt",
                    "beats", "cycles", "retired", "ipc", "elapsed",
-                   "profile", "done", "worker", "run_id")
+                   "profile", "interval", "done", "worker", "run_id")
                   if body.get(field) is not None}
         record["ts"] = time.time()
         index = record.get("index", 0)

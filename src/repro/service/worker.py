@@ -130,6 +130,7 @@ class WorkerAgent:
         max_jobs: Optional[int] = None,
         max_idle: Optional[float] = None,
         heartbeat_cycles: int = 2_000,
+        interval_cycles: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         faults=None,
         stream=None,
@@ -147,6 +148,13 @@ class WorkerAgent:
         #: chaos soak raises it so workers ride out server restarts.
         self.outage_grace = max(0.0, float(outage_grace))
         self.heartbeat_cycles = max(0, int(heartbeat_cycles))
+        # Interval time series: > 0 attaches an IntervalRecorder to
+        # every executed job and rides its freshest window on each
+        # heartbeat (the `interval` field), which the service stores
+        # and /metrics exports as repro_worker_interval_* gauges.
+        from repro.runtime.settings import resolve_interval_cycles
+
+        self.interval_cycles = resolve_interval_cycles(interval_cycles)
         # The worker's cache never goes remote: the service already
         # told us the key was a miss when it queued the job.
         self.cache = cache if cache is not None else ResultCache(remote=False)
@@ -306,13 +314,20 @@ class WorkerAgent:
                 "worker.simulate", context, stage="simulate",
                 worker=self.name, key=job.key, label=job.label,
                 run_id=run_id)
+        recorder = None
+        if self.interval_cycles > 0:
+            from repro.obs.timeseries import IntervalRecorder
+
+            recorder = IntervalRecorder(
+                interval_cycles=self.interval_cycles)
         hook = self._heartbeat_hook(job, index, attempt, started,
-                                    run_id=run_id)
+                                    run_id=run_id, recorder=recorder)
         try:
             result = job.run(
                 progress_hook=hook if self.heartbeat_cycles else None,
                 progress_interval=self.heartbeat_cycles or 2_000,
                 profiler=profiler,
+                recorder=recorder,
             )
         except Exception as error:
             # Deterministic simulation error: retrying on another
@@ -361,7 +376,7 @@ class WorkerAgent:
             self.span_ship_errors += 1
 
     def _heartbeat_hook(self, job: SimJob, index: int, attempt: int,
-                        started: float, run_id=None):
+                        started: float, run_id=None, recorder=None):
         """A simulator progress hook posting heartbeats over HTTP."""
         def beat(pipeline) -> None:
             stats = pipeline.stats
@@ -381,6 +396,10 @@ class WorkerAgent:
             }
             if run_id is not None:
                 record["run_id"] = run_id
+            if recorder is not None:
+                window = recorder.last_window()
+                if window is not None:
+                    record["interval"] = window
             try:
                 _post_json(self.url, "/heartbeat", record, timeout=5.0)
                 self.heartbeats += 1

@@ -28,7 +28,12 @@ from repro.workloads.program import (
     StrideStream,
 )
 from repro.workloads.profiles import WorkloadProfile, profile_for
-from repro.workloads.generator import generate_program
+from repro.workloads.generator import (
+    PHASE_SEGMENT_KINDS,
+    generate_phased_program,
+    generate_program,
+    phased_program,
+)
 from repro.workloads.execution import FunctionalSimulator
 from repro.workloads.suites import (
     MEDIABENCH,
@@ -51,6 +56,7 @@ __all__ = [
     "FunctionalSimulator",
     "LoopBranch",
     "MEDIABENCH",
+    "PHASE_SEGMENT_KINDS",
     "PatternBranch",
     "Program",
     "RandomStream",
@@ -60,9 +66,11 @@ __all__ = [
     "StrideStream",
     "TraceReader",
     "WorkloadProfile",
+    "generate_phased_program",
     "generate_program",
     "measure_stream",
     "open_trace",
+    "phased_program",
     "profile_for",
     "record_trace",
     "write_trace",

@@ -17,8 +17,9 @@ Generation is fully deterministic given the profile (which embeds a seed).
 
 from __future__ import annotations
 
+import dataclasses
 import random
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.isa import Instruction, Opcode, fp_reg, int_reg
 from repro.workloads.profiles import WorkloadProfile
@@ -434,4 +435,136 @@ def generate_program(profile: WorkloadProfile) -> Program:
         branch_behaviors=builder.behaviors,
         address_streams=builder.streams,
         seed=profile.seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Phased workloads (program-phase detection fixtures).
+# ----------------------------------------------------------------------
+#: Profile overrides per phase-segment kind.  Each kind pins the knobs
+#: that move the interval signals the phase detector watches: the
+#: instruction mix (which reservation stations fill), memory locality
+#: (cache hit rates and ``mem_latency`` pressure), and branch shape
+#: (front-end starvation).
+PHASE_SEGMENT_KINDS: Dict[str, dict] = {
+    "compute": dict(
+        description="compute-bound: cache-resident, ALU-heavy",
+        frac_mem=0.06,
+        frac_cpx_int=0.10,
+        loop_trip_mean=48,
+        frac_pattern_branches=0.60,
+        branch_bias=0.90,
+        p_near=0.50,
+        working_set_kb=32,
+        stride_frac=0.90,
+        num_regions=2,
+        hot_region_kb=8,
+        hot_frac=0.95,
+    ),
+    "memory": dict(
+        description="memory-bound: large random working set",
+        frac_mem=0.45,
+        frac_load=0.75,
+        loop_trip_mean=32,
+        p_near=0.25,
+        working_set_kb=4096,
+        stride_frac=0.05,
+        num_regions=16,
+        hot_region_kb=4,
+        hot_frac=0.05,
+    ),
+    "branchy": dict(
+        description="branch-bound: short trips, hard branches",
+        frac_mem=0.18,
+        loop_trip_mean=6,
+        loop_trip_jitter=3,
+        frac_pattern_branches=0.05,
+        frac_hard_branches=0.60,
+        branch_bias=0.55,
+        bias_spread=0.05,
+        working_set_kb=128,
+    ),
+}
+
+
+def generate_phased_program(
+    segments: Sequence[WorkloadProfile],
+    name: str = "phased",
+    seed: int = 1,
+) -> Program:
+    """Generate one program whose dynamic stream alternates behaviours.
+
+    Each profile in ``segments`` contributes ``loops_per_func`` counted
+    loops generated under *its* instruction mix, branch shape, and
+    memory locality; segments are chained in order and the final block
+    jumps back to the first segment's entry, so execution cycles through
+    the behaviours indefinitely (the functional simulator stops at the
+    instruction budget, as with :func:`generate_program`'s main loop).
+    One builder spans all segments, so PCs, streams, and dataflow state
+    stay globally consistent.
+    """
+    if not segments:
+        raise ValueError("phased program needs at least one segment")
+    builder = _ProgramBuilder(dataclasses.replace(segments[0], seed=seed))
+    first_entry: Optional[int] = None
+    prev_exit: Optional[int] = None
+    for profile in segments:
+        # Re-point the generation knobs at this segment's profile; the
+        # rng, dataflow history, and pc/stream allocators carry over.
+        builder.profile = profile
+        builder.dataflow._profile = profile
+        builder._regions = builder._make_regions()
+        for _ in range(max(1, profile.loops_per_func)):
+            entry, loop_exit = builder.gen_loop()
+            if first_entry is None:
+                first_entry = entry
+            if prev_exit is not None:
+                builder.patch(prev_exit, fall=entry)
+            prev_exit = loop_exit
+    # Outer infinite loop over all segments.
+    tail_body = builder._body(2)
+    tail_body.append(Instruction(builder.alloc_pc(), Opcode.JMP, None, ()))
+    tail = builder.add_block(tail_body, taken_succ=first_entry)
+    builder.patch(prev_exit, fall=tail)
+    return Program(
+        name=name,
+        blocks=builder.blocks,
+        entry_block=first_entry,
+        branch_behaviors=builder.behaviors,
+        address_streams=builder.streams,
+        seed=seed,
+    )
+
+
+def phased_program(
+    kinds: Sequence[str] = ("compute", "memory"),
+    seed: int = 1,
+    loops_per_segment: int = 2,
+    name: Optional[str] = None,
+) -> Program:
+    """Build a phased program from :data:`PHASE_SEGMENT_KINDS` presets.
+
+    ``kinds`` names the segment behaviours in execution order (repeats
+    allowed); unknown names raise :class:`ValueError` listing the
+    catalog.  This is the fixture ``repro timeline --phased`` and the CI
+    phase-detection smoke run.
+    """
+    profiles = []
+    for kind in kinds:
+        preset = PHASE_SEGMENT_KINDS.get(kind)
+        if preset is None:
+            raise ValueError(
+                f"unknown phase segment kind {kind!r}: expected one of "
+                f"{', '.join(sorted(PHASE_SEGMENT_KINDS))}"
+            )
+        profiles.append(WorkloadProfile(
+            name=f"phase-{kind}",
+            loops_per_func=loops_per_segment,
+            seed=seed,
+            **preset,
+        ))
+    return generate_phased_program(
+        profiles,
+        name=name or ("phased-" + "-".join(kinds)),
+        seed=seed,
     )

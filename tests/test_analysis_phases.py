@@ -1,0 +1,241 @@
+"""Tests for program-phase detection (`repro.analysis.phases`)."""
+
+import json
+
+import pytest
+
+from repro.analysis.phases import (
+    PHASE_SIGNATURE_VERSION,
+    compare_timelines,
+    detect_phases,
+    load_timeline,
+    render_comparison,
+    render_timeline,
+    segment_timeline,
+    signature,
+    window_features,
+)
+from repro.assign.base import StrategySpec
+from repro.cluster.config import MachineConfig
+from repro.core.accounting import CYCLE_LOSS_CATEGORIES
+from repro.core.simulator import simulate
+from repro.obs.timeseries import IntervalRecorder
+from repro.workloads import phased_program
+
+
+def phased_timeline(seed=1, strategy="fdrt"):
+    recorder = IntervalRecorder(interval_cycles=250)
+    program = phased_program(("compute", "memory"), seed=seed)
+    simulate(program, StrategySpec(kind=strategy),
+             config=MachineConfig(), instructions=8_000,
+             warmup=2_000, recorder=recorder)
+    return list(recorder.windows)
+
+
+def synthetic_window(index, ipc, mem_share, cycles=1_000, width=8):
+    retired = int(ipc * cycles)
+    lost = width * cycles - retired
+    mem = int(lost * mem_share)
+    accounting = {cat: 0 for cat in CYCLE_LOSS_CATEGORIES}
+    accounting["mem_latency"] = mem
+    accounting["exec_latency"] = lost - mem
+    return {
+        "schema": 1, "index": index, "start": index * cycles,
+        "end": (index + 1) * cycles, "cycles": cycles,
+        "retired": retired, "ipc": ipc, "width": width,
+        "occupancy": [4.0, 4.0], "occupancy_frac": 0.5,
+        "rs_full": 0, "fetch_starve": 0, "forwarded_hops": 0,
+        "forwarded_operands": 0, "tc_lookups": 100, "tc_hits": 80,
+        "tc_hit_rate": 0.8, "accounting": accounting,
+    }
+
+
+def two_regime_windows():
+    # Five high-IPC compute windows, then five memory-bound windows.
+    fast = [synthetic_window(i, ipc=4.0, mem_share=0.1)
+            for i in range(5)]
+    slow = [synthetic_window(i + 5, ipc=0.5, mem_share=0.9)
+            for i in range(5)]
+    return fast + slow
+
+
+class TestDetection:
+    def test_phased_workload_detects_multiple_phases(self):
+        report = segment_timeline(phased_timeline())
+        assert len(report.phases) >= 2
+        assert len(report.distinct_ids) >= 2
+        dominants = {p.dominant_blocker for p in report.phases}
+        assert "mem_latency" in dominants
+
+    def test_phase_ids_stable_across_seeds(self):
+        # The quantized-signature IDs must name the same regimes even
+        # when the instruction stream is regenerated with another seed.
+        ids_a = segment_timeline(phased_timeline(seed=1)).distinct_ids
+        ids_b = segment_timeline(phased_timeline(seed=2)).distinct_ids
+        assert len(set(ids_a) & set(ids_b)) >= 2
+
+    def test_two_regimes_split_into_two_phases(self):
+        phases = detect_phases(two_regime_windows())
+        assert len(phases) == 2
+        assert phases[0].last_window == 4
+        assert phases[1].first_window == 5
+        assert phases[0].phase_id != phases[1].phase_id
+        assert phases[1].dominant_blocker == "mem_latency"
+
+    def test_uniform_timeline_is_one_phase(self):
+        windows = [synthetic_window(i, ipc=2.0, mem_share=0.5)
+                   for i in range(10)]
+        phases = detect_phases(windows)
+        assert len(phases) == 1
+        assert phases[0].first_window == 0
+        assert phases[0].last_window == 9
+
+    def test_smooth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            detect_phases(two_regime_windows(), smooth=0)
+
+    def test_phase_coverage_is_exact(self):
+        windows = two_regime_windows()
+        phases = detect_phases(windows)
+        assert sum(p.cycles for p in phases) == sum(
+            w["cycles"] for w in windows)
+        assert sum(p.retired for p in phases) == sum(
+            w["retired"] for w in windows)
+
+    def test_signature_shape(self):
+        from repro.analysis.phases import PHASE_FEATURES, SIGNATURE_GAINS
+
+        features = window_features(synthetic_window(0, 2.0, 0.5))
+        vector = [features[name] * SIGNATURE_GAINS[name]
+                  for name in PHASE_FEATURES]
+        sig = signature(vector)
+        assert sig.startswith("p")
+        assert sig[1:].isdigit()
+        assert len(sig) == 1 + len(PHASE_FEATURES)
+
+
+class TestReport:
+    def test_report_dict_and_render(self):
+        report = segment_timeline(two_regime_windows(),
+                                  meta={"strategy": "fdrt"})
+        document = report.to_dict()
+        assert document["signature_version"] == PHASE_SIGNATURE_VERSION
+        assert document["distinct_phases"] == 2
+        assert document["meta"]["strategy"] == "fdrt"
+        rendered = report.render()
+        assert "2 phase(s)" in rendered
+        assert "mem_latency" in rendered
+        markdown = report.to_markdown()
+        assert markdown.splitlines()[0].startswith("|")
+
+    def test_empty_timeline(self):
+        report = segment_timeline([])
+        assert report.phases == []
+        assert "no phases detected" in report.render()
+
+
+class TestComparison:
+    def test_winner_is_higher_ipc(self):
+        fast = segment_timeline([synthetic_window(i, 4.0, 0.1)
+                                 for i in range(6)])
+        slow = segment_timeline([synthetic_window(i, 4.0, 0.1,
+                                                  cycles=2_000)
+                                 for i in range(6)])
+        rows = compare_timelines({"fdrt": fast, "base": slow})
+        assert rows
+        for row in rows:
+            assert row["winner"] == "fdrt"
+        rendered = render_comparison(rows)
+        assert "fdrt" in rendered and "base" in rendered
+
+
+class TestLoadTimeline:
+    def test_reads_json_document(self, tmp_path):
+        path = tmp_path / "doc.json"
+        windows = two_regime_windows()
+        path.write_text(json.dumps(
+            {"meta": {"strategy": "base"}, "windows": windows}))
+        meta, loaded = load_timeline(str(path))
+        assert meta["strategy"] == "base"
+        assert loaded == windows
+
+    def test_skips_torn_jsonl_tail(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        windows = two_regime_windows()[:3]
+        lines = [json.dumps({"kind": "interval-series", "seed": 7})]
+        lines += [json.dumps(w) for w in windows]
+        path.write_text("\n".join(lines) + '\n{"schema": 1, "ind')
+        meta, loaded = load_timeline(str(path))
+        assert meta["seed"] == 7
+        assert loaded == windows
+
+
+class TestRenderTimeline:
+    def test_plain_output_has_no_escapes(self):
+        windows = two_regime_windows()
+        report = segment_timeline(windows)
+        rendered = render_timeline(windows, report=report, ansi=False)
+        assert "\x1b[" not in rendered
+        assert "ipc" in rendered
+        assert "mem_latency" in rendered
+
+    def test_ansi_output_is_colored(self):
+        windows = two_regime_windows()
+        report = segment_timeline(windows)
+        rendered = render_timeline(windows, report=report, ansi=True)
+        assert "\x1b[" in rendered
+
+    def test_empty(self):
+        assert "no windows recorded" in render_timeline([])
+
+
+class TestTimelineCli:
+    def test_phased_run_writes_exports(self, tmp_path, capsys):
+        from repro.cli import main
+
+        json_path = tmp_path / "timeline.json"
+        md_path = tmp_path / "timeline.md"
+        trace_path = tmp_path / "timeline.trace.json"
+        code = main(["timeline", "--phased", "compute,memory",
+                     "--instructions", "4000", "--warmup", "1000",
+                     "--interval-cycles", "250",
+                     "--json", str(json_path),
+                     "--markdown", str(md_path),
+                     "--perfetto", str(trace_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "timeline — phased-compute-memory / fdrt" in out
+        document = json.loads(json_path.read_text())
+        assert document["windows"]
+        assert document["phases"]["phases"]
+        assert "|" in md_path.read_text()
+        assert json.loads(trace_path.read_text())["traceEvents"]
+
+    def test_rejects_unknown_phase_kind(self):
+        from repro.cli import main
+
+        assert main(["timeline", "--phased", "quantum"]) == 2
+
+    def test_requires_exactly_one_subject(self):
+        from repro.cli import main
+
+        assert main(["timeline"]) == 2
+        assert main(["timeline", "gzip", "--phased", "compute"]) == 2
+
+    def test_analyze_phases_mode(self, tmp_path, capsys):
+        from repro.cli import main
+
+        recorder = IntervalRecorder(interval_cycles=250)
+        simulate(phased_program(("compute", "memory")),
+                 StrategySpec(kind="fdrt"), config=MachineConfig(),
+                 instructions=4_000, warmup=1_000, recorder=recorder)
+        path = tmp_path / "fdrt.jsonl"
+        recorder.write_jsonl(str(path), meta={"strategy": "fdrt"})
+        assert main(["analyze", "--phases", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "phases — fdrt" in out
+
+    def test_analyze_requires_some_input(self):
+        from repro.cli import main
+
+        assert main(["analyze"]) == 2

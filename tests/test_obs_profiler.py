@@ -60,6 +60,22 @@ class TestPhaseProfiler:
                           for _, window in profiler.samples)
             assert sampled == pytest.approx(profiler.seconds[phase])
 
+    def test_finish_flushes_partial_sample(self):
+        # A run shorter than one sample window still yields a sample:
+        # finish() flushes the open partial window, and is idempotent.
+        simulator = Simulator("gzip", StrategySpec(kind="fdrt"),
+                              config=MachineConfig())
+        profiler = PhaseProfiler(sample_cycles=1_000_000)
+        with profiler.attach(simulator.pipeline):
+            simulator.run(500)
+        profiler.finish()
+        assert len(profiler.samples) == 1
+        profiler.finish()
+        assert len(profiler.samples) == 1
+        _, window = profiler.samples[0]
+        total = sum(window.values())
+        assert total == pytest.approx(sum(profiler.seconds.values()))
+
     def test_publish_metrics(self):
         profiler, _ = profiled_run()
         registry = MetricsRegistry()

@@ -273,6 +273,38 @@ class TestReproTop:
         assert run_top(str(tmp_path), stream=out, once=True) == 0
         assert "no run data yet" in out.getvalue()
 
+    def test_trend_column_shows_interval_ipc_sparkline(self):
+        from repro.obs.top import render_state, update_trends
+
+        def document(window_ipc):
+            return {"jobs": [{
+                "index": 0, "status": "pending", "label": "gzip × fdrt",
+                "heartbeat": {"cycles": 1000, "retired": 500,
+                              "ipc": 0.5, "elapsed": 1.0, "age": 0.1,
+                              "interval": {"ipc": window_ipc}},
+            }]}
+
+        trends = {}
+        # Three refreshes with rising windowed IPC build a live series.
+        for ipc in (0.2, 0.9, 1.8):
+            update_trends(document(ipc), trends)
+        assert trends[0] == [0.2, 0.9, 1.8]
+        rendered = render_state(document(1.8), trends=trends)
+        assert "trend" in rendered
+        # A rising series renders low→high sparkline ticks.
+        assert "▁" in rendered and "█" in rendered
+
+    def test_trend_series_is_capped(self):
+        from repro.obs.top import TREND_POINTS, update_trends
+
+        doc = {"jobs": [{"index": 0, "status": "pending", "label": "x",
+                         "heartbeat": {"ipc": 0.5, "elapsed": 1.0,
+                                       "interval": {"ipc": 0.5}}}]}
+        trends = {}
+        for _ in range(TREND_POINTS * 3):
+            update_trends(doc, trends)
+        assert len(trends[0]) == TREND_POINTS
+
     def test_ansi_mode_colors_and_clears(self, tmp_path):
         from repro.obs.top import run_top
 

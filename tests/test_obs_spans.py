@@ -247,6 +247,16 @@ def test_render_spans_waterfall():
     assert render_spans([]) == "no spans recorded"
 
 
+def test_render_spans_plain_by_default_colored_on_request():
+    plain = render_spans(_spans_fixture())
+    assert "\x1b[" not in plain
+    colored = render_spans(_spans_fixture(), ansi=True)
+    assert "\x1b[" in colored
+    # Color only wraps in escapes; stripping them recovers the text.
+    import re
+    assert re.sub(r"\x1b\[[0-9;]*m", "", colored) == plain
+
+
 def test_render_spans_respects_limit():
     text = render_spans(_spans_fixture(), limit=1)
     assert "more trace(s)" in text

@@ -111,6 +111,43 @@ class TestCycleTracer:
         assert tracer.dropped == tracer.recorded - 50
         assert tracer.dropped > 0
 
+    def test_ring_buffer_exactly_at_cap_drops_nothing(self, tiny_program):
+        def traced(capacity):
+            pipe = Pipeline(tiny_program, MachineConfig(),
+                            StrategySpec(kind="fdrt"))
+            tracer = CycleTracer(capacity=capacity)
+            with tracer.attach(pipe):
+                pipe.run(2000)
+            return tracer
+
+        count = traced(1_000_000).recorded
+        exact = traced(count)
+        assert exact.recorded == count
+        assert len(exact.events) == count
+        assert exact.dropped == 0
+
+    def test_ring_buffer_one_past_cap_drops_oldest(self, tiny_program):
+        def traced(capacity):
+            pipe = Pipeline(tiny_program, MachineConfig(),
+                            StrategySpec(kind="fdrt"))
+            tracer = CycleTracer(capacity=capacity)
+            with tracer.attach(pipe):
+                pipe.run(2000)
+            return tracer
+
+        full = traced(1_000_000)
+        count = full.recorded
+        tracer = traced(count - 1)
+        assert tracer.recorded == count
+        assert len(tracer.events) == count - 1
+        assert tracer.dropped == 1
+        # The oldest event went; the retained tail matches the full run
+        # and the export is still a valid Chrome trace.
+        assert list(tracer.events) == list(full.events)[1:]
+        doc = tracer.to_chrome_trace()
+        assert doc["otherData"]["dropped"] == 1
+        assert duration_events(doc)
+
     def test_rejects_nonpositive_capacity(self):
         with pytest.raises(ValueError):
             CycleTracer(capacity=0)

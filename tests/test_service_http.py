@@ -202,6 +202,29 @@ class TestWorkerProtocol:
         assert record["cycles"] == 500 and record["worker"] == "w1"
         assert "ts" in record  # stamped with the *server's* clock
 
+    def test_heartbeat_interval_window_reaches_metrics(self, server):
+        # A worker running with an interval recorder rides its last
+        # window on the heartbeat; the service re-exports it as
+        # repro_worker_interval_* gauges.
+        job, claim = self._submit_and_claim(server)
+        status, ack = post(server.url, "/heartbeat", {
+            "key": job.key, "worker": "w1", "index": claim["index"],
+            "cycles": 500, "retired": 400, "ipc": 0.8,
+            "label": job.label, "schema": 1, "pid": 12345,
+            "interval": {"ipc": 1.25, "tc_hit_rate": 0.9,
+                         "occupancy_frac": 0.4, "rs_full": 3,
+                         "fetch_starve": 7, "forwarded_hops": 2,
+                         "forwarded_operands": 2},
+        })
+        assert status == 200 and ack["renewed"]
+        with urllib.request.urlopen(server.url + "/metrics",
+                                    timeout=10) as response:
+            text = response.read().decode("utf-8")
+        assert "repro_worker_interval_ipc{" in text
+        assert " 1.25" in text
+        assert "repro_worker_interval_tc_hit_rate{" in text
+        assert "repro_worker_interval_fetch_starve{" in text
+
     def test_cache_endpoint_misses_cleanly(self, server):
         status, document = get(server.url, "/cache/" + "f" * 64)
         assert status == 404 and "miss" in document["error"]
